@@ -1,0 +1,277 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation; each
+// regenerates the corresponding result from the shared fleet
+// characterization (built once, on first use). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The first benchmark to run pays the one-time characterization cost;
+// the per-iteration numbers then measure the analysis pipelines (PCA,
+// clustering, validation, coverage geometry) themselves.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *Lab
+)
+
+// lab returns the shared benchmark lab at reduced (fast) fidelity —
+// every qualitative result of the paper holds at this fidelity, and
+// the bench suite stays runnable in seconds.
+func lab(b *testing.B) *Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = NewLab(FastRunOptions())
+	})
+	if _, err := benchLab.Characterization(); err != nil {
+		b.Fatal(err)
+	}
+	return benchLab
+}
+
+func BenchmarkTable1InstrMix(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table1(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2MetricRanges(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1CPIStacks(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig1(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = RenderStacks(rows, 60)
+	}
+}
+
+func BenchmarkFig2DendrogramSpeedINT(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig2(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3DendrogramSpeedFP(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig3(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4DendrogramRateFP(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Subsets(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table5(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5ValidateINT(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig5(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ValidateFP(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6RandomSubsets(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table6(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7InputSetsINT(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig7(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8InputSetsFP(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig8(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7RepresentativeInputs(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table7(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRateSpeedCompare(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RateSpeed(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9BranchScatter(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig9(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10CacheScatter(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fig10(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8Domains(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table8(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11CPU2006Coverage(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fig11(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12PowerScatter(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fig12(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13EmergingWorkloads(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig13(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable9Sensitivity(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table9(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLinkage(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AblateLinkage(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsetSizeSweep(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SubsetSizeSweep(l, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRateScaling(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RateScaling(l, []string{"505.mcf_r"}, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,665 @@
+// Command spec17 reproduces the tables and figures of "Wait of a
+// Decade: Did SPEC CPU 2017 Broaden the Performance Horizon?"
+// (HPCA 2018) on the synthetic measurement substrate.
+//
+// Usage:
+//
+//	spec17 [-exp id[,id...]] [-instructions n] [-warmup n] [-width n]
+//
+// Experiment ids: table1 table2 fig1 fig2 fig3 fig4 table5 fig5 fig6
+// table6 fig7 fig8 table7 ratespeed fig9 fig10 table8 fig11 fig12
+// fig13 table9, the extensions table9-extended rate-scaling
+// tree-similarity noise, the ablations ablation-linkage
+// ablation-weighting ablation-pcs subset-sweep, or "all" (default).
+//
+// -svg DIR writes every figure as an SVG file; -json FILE writes every
+// result as one JSON document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/plot"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		instrs  = flag.Int("instructions", 400_000, "measured instructions per workload per machine")
+		warmup  = flag.Int("warmup", 0, "warmup instructions (default instructions/5)")
+		width   = flag.Int("width", 60, "plot width in columns")
+		jsonOut = flag.String("json", "", "write every experiment's result as JSON to this file ('-' = stdout) and exit")
+		svgDir  = flag.String("svg", "", "write the paper's figures as SVG files into this directory and exit")
+	)
+	flag.Parse()
+
+	lab := experiments.NewLab(machine.RunOptions{
+		Instructions:       *instrs,
+		WarmupInstructions: *warmup,
+	})
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(lab, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(lab, *svgDir); err != nil {
+			fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runners := map[string]func(*experiments.Lab, int) error{
+		"table1":    runTable1,
+		"table2":    runTable2,
+		"fig1":      runFig1,
+		"fig2":      runDendro(experiments.Fig2, "Figure 2: SPECspeed INT dendrogram"),
+		"fig3":      runDendro(experiments.Fig3, "Figure 3: SPECspeed FP dendrogram"),
+		"fig4":      runDendro(experiments.Fig4, "Figure 4: SPECrate FP dendrogram"),
+		"table5":    runTable5,
+		"fig5":      runValidation(experiments.Fig5, "Figure 5: INT subset validation"),
+		"fig6":      runValidation(experiments.Fig6, "Figure 6: FP subset validation"),
+		"table6":    runTable6,
+		"fig7":      runInputSets(experiments.Fig7, "Figure 7: INT input-set similarity"),
+		"fig8":      runInputSets(experiments.Fig8, "Figure 8: FP input-set similarity"),
+		"table7":    runTable7,
+		"ratespeed": runRateSpeed,
+		"fig9":      runFig9,
+		"fig10":     runFig10,
+		"table8":    runTable8,
+		"fig11":     runFig11,
+		"fig12":     runFig12,
+		"fig13":     runFig13,
+		"table9":    runTable9,
+		// Ablations of the methodology's design choices (not in the paper).
+		"ablation-linkage":   runAblateLinkage,
+		"ablation-weighting": runAblateWeighting,
+		"ablation-pcs":       runAblatePCs,
+		"subset-sweep":       runSubsetSweep,
+		"table9-extended":    runTable9Extended,
+		"rate-scaling":       runRateScaling,
+		"tree-similarity":    runTreeSimilarity,
+		"noise":              runNoise,
+	}
+	order := []string{
+		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "table5",
+		"fig5", "fig6", "table6", "fig7", "fig8", "table7", "ratespeed",
+		"fig9", "fig10", "table8", "fig11", "fig12", "fig13", "table9",
+		"ablation-linkage", "ablation-weighting", "ablation-pcs", "subset-sweep",
+		"table9-extended", "rate-scaling", "tree-similarity", "noise",
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "spec17: unknown experiment %q (known: %s)\n",
+					id, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if err := runners[id](lab, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "spec17: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", len(title)))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", len(title)))
+}
+
+func runTable1(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table1(lab)
+	if err != nil {
+		return err
+	}
+	header("Table I: dynamic instruction count, instruction mix, and CPI (Skylake)")
+	fmt.Printf("%-18s %-14s %10s %7s %7s %8s %7s %9s\n",
+		"benchmark", "suite", "icount(B)", "load%", "store%", "branch%", "CPI", "paper CPI")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-14s %10.0f %7.2f %7.2f %8.2f %7.2f %9.2f\n",
+			r.Name, r.Suite, r.ICountB, r.PctLoad, r.PctStore, r.PctBranch, r.CPI, r.PaperCPI)
+	}
+	return nil
+}
+
+func runTable2(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table2(lab)
+	if err != nil {
+		return err
+	}
+	header("Table II: metric ranges per sub-suite (Skylake)")
+	fmt.Printf("%-12s %-14s %10s %10s\n", "metric", "suite", "min", "max")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-14s %10.2f %10.2f\n", r.Metric, r.Suite, r.Min, r.Max)
+	}
+	return nil
+}
+
+func runFig1(lab *experiments.Lab, width int) error {
+	rows, err := experiments.Fig1(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 1: CPI stacks of the SPECrate benchmarks (Skylake)")
+	fmt.Print(experiments.RenderStacks(rows, width))
+	return nil
+}
+
+func runDendro(f func(*experiments.Lab) (*experiments.DendrogramResult, error), title string) func(*experiments.Lab, int) error {
+	return func(lab *experiments.Lab, width int) error {
+		d, err := f(lab)
+		if err != nil {
+			return err
+		}
+		header(title)
+		fmt.Printf("%d PCs retained (Kaiser), %.0f%% of variance; most distinct: %s\n\n",
+			d.NumPCs, d.VarCovered*100, d.MostDistinct)
+		fmt.Print(d.Similarity.Dendrogram.Render(width))
+		return nil
+	}
+}
+
+func runTable5(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table5(lab)
+	if err != nil {
+		return err
+	}
+	header("Table V: representative 3-benchmark subsets")
+	for _, r := range rows {
+		fmt.Printf("%-14s  subset: %s\n", r.Suite, strings.Join(r.Subset, ", "))
+		fmt.Printf("%-14s  cut at linkage %.2f, simulation-time reduction %.1fx\n",
+			"", r.CutHeight, r.SimTimeReduction)
+		for i, cl := range r.Clusters {
+			fmt.Printf("%-14s    cluster %d: %s\n", "", i+1, strings.Join(cl, ", "))
+		}
+	}
+	return nil
+}
+
+func runValidation(f func(*experiments.Lab) ([]*experiments.ValidationRow, error), title string) func(*experiments.Lab, int) error {
+	return func(lab *experiments.Lab, _ int) error {
+		rows, err := f(lab)
+		if err != nil {
+			return err
+		}
+		header(title)
+		for _, r := range rows {
+			fmt.Printf("%s — subset %s\n", r.Suite, strings.Join(r.Subset, ", "))
+			var systems []string
+			for s := range r.Identified.PerSystem {
+				systems = append(systems, s)
+			}
+			sort.Strings(systems)
+			for _, s := range systems {
+				fmt.Printf("  %-22s error %5.1f%%\n", s, r.Identified.PerSystem[s]*100)
+			}
+			fmt.Printf("  %-22s avg %6.1f%%  max %5.1f%%\n", "overall",
+				r.Identified.Avg*100, r.Identified.Max*100)
+		}
+		return nil
+	}
+}
+
+func runTable6(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table6(lab)
+	if err != nil {
+		return err
+	}
+	header("Table VI: identified subsets vs random subsets (avg error)")
+	fmt.Print(experiments.RenderTable6(rows))
+	return nil
+}
+
+func runInputSets(f func(*experiments.Lab) (*experiments.InputSetResult, error), title string) func(*experiments.Lab, int) error {
+	return func(lab *experiments.Lab, width int) error {
+		res, err := f(lab)
+		if err != nil {
+			return err
+		}
+		header(title)
+		fmt.Printf("%d PCs retained, %.0f%% of variance\n\n", res.NumPCs, res.VarCovered*100)
+		fmt.Print(res.Similarity.Dendrogram.Render(width))
+		fmt.Println("\ninput-set cohesion (max within-benchmark distance / median pairwise):")
+		var names []string
+		for n := range res.Cohesion {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-18s %.2f\n", n, res.Cohesion[n])
+		}
+		return nil
+	}
+}
+
+func runTable7(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table7(lab)
+	if err != nil {
+		return err
+	}
+	header("Table VII: representative input sets")
+	for _, r := range rows {
+		fmt.Printf("  %-18s input set %d\n", r.Benchmark, r.Input)
+	}
+	return nil
+}
+
+func runRateSpeed(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.RateSpeed(lab)
+	if err != nil {
+		return err
+	}
+	header("Section IV-D: rate vs speed similarity (sorted by distance)")
+	for _, r := range rows {
+		mark := ""
+		if r.Divergent {
+			mark = "  <- divergent"
+		}
+		fmt.Printf("  %-12s %6.2f%s\n", r.Base, r.Distance, mark)
+	}
+	return nil
+}
+
+func runFig9(lab *experiments.Lab, width int) error {
+	res, err := experiments.Fig9(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 9: CPU2017 in the branch-behaviour PC space")
+	fmt.Print(experiments.RenderScatter(res, width, 20))
+	return nil
+}
+
+func runFig10(lab *experiments.Lab, width int) error {
+	dc, ic, err := experiments.Fig10(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 10a: data-cache PC space")
+	fmt.Print(experiments.RenderScatter(dc, width, 20))
+	header("Figure 10b: instruction-cache PC space")
+	fmt.Print(experiments.RenderScatter(ic, width, 20))
+	return nil
+}
+
+func runTable8(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.Table8(lab)
+	if err != nil {
+		return err
+	}
+	header("Table VIII: application domains and covering benchmarks")
+	for _, r := range rows {
+		fmt.Printf("%-28s run: %s\n", r.Domain, strings.Join(r.Recommended, ", "))
+	}
+	return nil
+}
+
+func runFig11(lab *experiments.Lab, _ int) error {
+	planes, uncovered, err := experiments.Fig11(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 11: CPU2017 vs CPU2006 workload-space coverage")
+	for _, pl := range planes {
+		fmt.Printf("  %-8s hull area 2017 %7.1f | 2006 %7.1f | CPU2017 outside CPU2006: %4.0f%%\n",
+			pl.Plane, pl.Area2017, pl.Area2006, pl.FracOutside*100)
+	}
+	fmt.Printf("  CPU2006 benchmarks not covered by CPU2017: %s\n", strings.Join(uncovered, ", "))
+	return nil
+}
+
+func runFig12(lab *experiments.Lab, width int) error {
+	cov, scatter, err := experiments.Fig12(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 12: power-characteristic PC space (RAPL machines)")
+	fmt.Printf("  hull area 2017 %.1f | 2006 %.1f | outside: %.0f%%\n\n",
+		cov.Area2017, cov.Area2006, cov.FracOutside*100)
+	fmt.Print(experiments.RenderScatter(scatter, width, 18))
+	return nil
+}
+
+func runFig13(lab *experiments.Lab, width int) error {
+	res, err := experiments.Fig13(lab)
+	if err != nil {
+		return err
+	}
+	header("Figure 13: CPU2017 vs EDA, graph, and database workloads")
+	fmt.Print(res.Similarity.Dendrogram.Render(width))
+	fmt.Println("\nnearest CPU2017 benchmark (distance / median pairwise):")
+	var names []string
+	for _, p := range workloads.Emerging() {
+		names = append(names, p.Name)
+	}
+	for _, n := range names {
+		fmt.Printf("  %-12s -> %-18s %.2f\n", n, res.NearestCPU2017[n], res.NormDistance[n])
+	}
+	return nil
+}
+
+func runAblateLinkage(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.AblateLinkage(lab)
+	if err != nil {
+		return err
+	}
+	header("Ablation: linkage method vs subset quality")
+	fmt.Printf("%-14s %-9s %7s  %-22s %s\n", "suite", "linkage", "error", "most distinct", "subset")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-9s %6.1f%%  %-22s %s\n",
+			r.Suite, r.Method, r.AvgError*100, r.MostDistinct, strings.Join(r.Subset, ", "))
+	}
+	return nil
+}
+
+func runAblateWeighting(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.AblateScoreWeighting(lab)
+	if err != nil {
+		return err
+	}
+	header("Ablation: sqrt-eigenvalue weighting of PC scores")
+	for _, r := range rows {
+		fmt.Printf("%-14s weighted: %-55s\n", r.Suite, strings.Join(r.WeightedSubset, ", "))
+		fmt.Printf("%-14s unweighted: %-53s agree=%v\n", "", strings.Join(r.UnweightedSubset, ", "), r.Agree)
+	}
+	return nil
+}
+
+func runAblatePCs(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.AblatePCSelection(lab)
+	if err != nil {
+		return err
+	}
+	header("Ablation: Kaiser criterion vs 90% variance target")
+	fmt.Printf("%-14s %10s %12s %13s\n", "suite", "Kaiser PCs", "90%-var PCs", "subsets agree")
+	for _, r := range rows {
+		fmt.Printf("%-14s %10d %12d %13v\n", r.Suite, r.KaiserPCs, r.VariancePCs, r.SubsetsAgree)
+	}
+	return nil
+}
+
+func runSubsetSweep(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.SubsetSizeSweep(lab, 6)
+	if err != nil {
+		return err
+	}
+	header("Subset-size sweep: validation error and time saving vs k")
+	fmt.Printf("%-14s %3s %8s %12s\n", "suite", "k", "error", "time saving")
+	for _, r := range rows {
+		fmt.Printf("%-14s %3d %7.1f%% %11.1fx\n", r.Suite, r.K, r.AvgError*100, r.SimTimeReduction)
+	}
+	return nil
+}
+
+func runRateScaling(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.RateScaling(lab, nil, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	header("SPECrate scaling: throughput vs concurrent copies (Skylake, shared LLC)")
+	fmt.Printf("%-18s %6s %12s %11s %14s\n", "benchmark", "copies", "throughput", "efficiency", "L3 MPKI/copy")
+	for _, r := range rows {
+		fmt.Printf("%-18s %6d %12.3f %10.0f%% %14.2f\n",
+			r.Benchmark, r.Copies, r.Throughput, r.Efficiency*100, r.L3MPKIPerCopy)
+	}
+	return nil
+}
+
+func runNoise(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.MeasurementNoise(lab, nil, 5)
+	if err != nil {
+		return err
+	}
+	header("Sampling noise: metric variation across independent trace samples")
+	fmt.Printf("%-18s %8s   per-metric CV\n", "benchmark", "max CV")
+	for _, r := range rows {
+		fmt.Printf("%-18s %7.1f%%   ", r.Benchmark, r.MaxCV*100)
+		for _, m := range []string{"l1d_mpki", "l2d_mpki", "l3_mpki", "l1i_mpki", "branch_mpki", "dtlb_mpmi"} {
+			fmt.Printf("%s=%.1f%% ", m, r.CV[m]*100)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runTreeSimilarity(lab *experiments.Lab, _ int) error {
+	rows, err := experiments.RateSpeedTreeSimilarity(lab)
+	if err != nil {
+		return err
+	}
+	header("Dendrogram similarity: rate vs speed (cophenetic correlation)")
+	for _, r := range rows {
+		fmt.Printf("%-20s r = %.3f over %d shared families\n", r.Pair, r.Correlation, len(r.Families))
+	}
+	return nil
+}
+
+func runTable9Extended(lab *experiments.Lab, _ int) error {
+	tables, err := experiments.Table9Extended(lab)
+	if err != nil {
+		return err
+	}
+	header("Extended sensitivity: all hardware structures")
+	for _, t := range tables {
+		fmt.Printf("%s:\n", t.Structure)
+		fmt.Printf("  High:   %s\n", strings.Join(t.High, ", "))
+		fmt.Printf("  Medium: %s\n", strings.Join(t.Medium, ", "))
+		fmt.Printf("  Low:    %s\n", strings.Join(t.Low, ", "))
+	}
+	return nil
+}
+
+func runTable9(lab *experiments.Lab, _ int) error {
+	tables, err := experiments.Table9(lab)
+	if err != nil {
+		return err
+	}
+	header("Table IX: sensitivity to branch predictor, L1 D-cache, and D-TLB configuration")
+	for _, t := range tables {
+		fmt.Printf("%s:\n", t.Structure)
+		fmt.Printf("  High:   %s\n", strings.Join(t.High, ", "))
+		fmt.Printf("  Medium: %s\n", strings.Join(t.Medium, ", "))
+		fmt.Printf("  Low:    %s\n", strings.Join(t.Low, ", "))
+	}
+	return nil
+}
+
+func writeJSONReport(lab *experiments.Lab, path string) error {
+	report, err := experiments.BuildReport(lab)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.WriteJSON(w)
+}
+
+// writeSVGs renders every figure of the paper into dir.
+func writeSVGs(lab *experiments.Lab, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+		return f.Close()
+	}
+
+	// Figure 1: CPI stacks.
+	stacks, err := experiments.Fig1(lab)
+	if err != nil {
+		return err
+	}
+	bars := make([]plot.StackedBar, 0, len(stacks))
+	for _, r := range stacks {
+		bars = append(bars, plot.StackedBar{Label: r.Name, Stack: r.Stack})
+	}
+	if err := write("fig1-cpi-stacks.svg", func(w *os.File) error {
+		return plot.CPIBars(w, bars, plot.BarsOptions{Title: "Figure 1: CPI stacks (SPECrate, Skylake)"})
+	}); err != nil {
+		return err
+	}
+
+	// Dendrogram figures.
+	dendros := []struct {
+		name, title string
+		get         func(*experiments.Lab) (*experiments.DendrogramResult, error)
+	}{
+		{"fig2-speed-int.svg", "Figure 2: SPECspeed INT", experiments.Fig2},
+		{"fig3-speed-fp.svg", "Figure 3: SPECspeed FP", experiments.Fig3},
+		{"fig4-rate-fp.svg", "Figure 4: SPECrate FP", experiments.Fig4},
+		{"rate-int.svg", "SPECrate INT (not shown in the paper)", experiments.RateINTDendrogram},
+	}
+	for _, d := range dendros {
+		res, err := d.get(lab)
+		if err != nil {
+			return err
+		}
+		if err := write(d.name, func(w *os.File) error {
+			return plot.Dendrogram(w, res.Similarity.Dendrogram, plot.DendrogramOptions{Title: d.title})
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Input-set dendrograms (Figures 7 and 8).
+	for _, d := range []struct {
+		name, title string
+		get         func(*experiments.Lab) (*experiments.InputSetResult, error)
+	}{
+		{"fig7-input-sets-int.svg", "Figure 7: INT input sets", experiments.Fig7},
+		{"fig8-input-sets-fp.svg", "Figure 8: FP input sets", experiments.Fig8},
+	} {
+		res, err := d.get(lab)
+		if err != nil {
+			return err
+		}
+		if err := write(d.name, func(w *os.File) error {
+			return plot.Dendrogram(w, res.Similarity.Dendrogram, plot.DendrogramOptions{Title: d.title})
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Scatter figures.
+	fig9, err := experiments.Fig9(lab)
+	if err != nil {
+		return err
+	}
+	if err := write("fig9-branch-space.svg", func(w *os.File) error {
+		return plot.Scatter(w, []plot.Series{{
+			Name: "CPU2017", Points: fig9.Points, Labels: fig9.Labels,
+		}}, plot.ScatterOptions{
+			Title:  "Figure 9: branch-behaviour PC space",
+			XLabel: "PC1", YLabel: "PC2", PointLabels: true,
+		})
+	}); err != nil {
+		return err
+	}
+	dc, ic, err := experiments.Fig10(lab)
+	if err != nil {
+		return err
+	}
+	for _, sc := range []struct {
+		name, title string
+		res         *experiments.ScatterResult
+	}{
+		{"fig10a-dcache-space.svg", "Figure 10a: data-cache PC space", dc},
+		{"fig10b-icache-space.svg", "Figure 10b: instruction-cache PC space", ic},
+	} {
+		if err := write(sc.name, func(w *os.File) error {
+			return plot.Scatter(w, []plot.Series{{
+				Name: "CPU2017", Points: sc.res.Points, Labels: sc.res.Labels,
+			}}, plot.ScatterOptions{
+				Title: sc.title, XLabel: "PC1", YLabel: "PC2", PointLabels: true,
+			})
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Figure 11: coverage planes with hulls.
+	planes, _, err := experiments.Fig11(lab)
+	if err != nil {
+		return err
+	}
+	for i, pl := range planes {
+		name := fmt.Sprintf("fig11-%s.svg", strings.ToLower(pl.Plane))
+		title := fmt.Sprintf("Figure 11: CPU2017 vs CPU2006 (%s)", pl.Plane)
+		plane := planes[i]
+		if err := write(name, func(w *os.File) error {
+			return plot.Scatter(w, []plot.Series{
+				{Name: "CPU2017", Points: plane.Points2017, Hull: true},
+				{Name: "CPU2006", Points: plane.Points2006, Hull: true},
+			}, plot.ScatterOptions{Title: title, XLabel: "PC (x)", YLabel: "PC (y)"})
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Figure 12: power space.
+	cov, _, err := experiments.Fig12(lab)
+	if err != nil {
+		return err
+	}
+	if err := write("fig12-power-space.svg", func(w *os.File) error {
+		return plot.Scatter(w, []plot.Series{
+			{Name: "CPU2017", Points: cov.Points2017, Hull: true},
+			{Name: "CPU2006", Points: cov.Points2006, Hull: true},
+		}, plot.ScatterOptions{
+			Title:  "Figure 12: power-characteristic PC space",
+			XLabel: "PC1 (DRAM power)", YLabel: "PC2 (core power)",
+		})
+	}); err != nil {
+		return err
+	}
+
+	// Figure 13: emerging-workload dendrogram.
+	em, err := experiments.Fig13(lab)
+	if err != nil {
+		return err
+	}
+	return write("fig13-emerging.svg", func(w *os.File) error {
+		return plot.Dendrogram(w, em.Similarity.Dendrogram, plot.DendrogramOptions{
+			Title: "Figure 13: CPU2017 vs EDA, graph, database",
+		})
+	})
+}

@@ -1,0 +1,62 @@
+// Balance: reproduce the paper's Section V — does CPU2017 broaden the
+// performance horizon? Compares the CPU2017 workload space against
+// CPU2006 (Figure 11), against the power spectrum (Figure 12), and
+// against emerging EDA, graph-analytics, and database workloads
+// (Figure 13), then prints the Table IX configuration-sensitivity
+// classification.
+//
+// Run with:
+//
+//	go run ./examples/balance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	lab := repro.NewLab(repro.FastRunOptions())
+
+	fmt.Println("CPU2017 vs CPU2006 coverage (Figure 11)...")
+	planes, uncovered, err := repro.Fig11(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pl := range planes {
+		fmt.Printf("  %-8s hull area: 2017 %.0f vs 2006 %.0f; 2017 points outside 2006 hull: %.0f%%\n",
+			pl.Plane, pl.Area2017, pl.Area2006, pl.FracOutside*100)
+	}
+	fmt.Printf("  CPU2006 programs whose behaviour CPU2017 does not cover: %s\n",
+		strings.Join(uncovered, ", "))
+
+	fmt.Println("\npower spectrum (Figure 12)...")
+	cov, _, err := repro.Fig12(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  power-space hull area: 2017 %.1f vs 2006 %.1f (CPU2017 is the broader suite)\n",
+		cov.Area2017, cov.Area2006)
+
+	fmt.Println("\nemerging workloads (Figure 13)...")
+	em, err := repro.Fig13(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range repro.EmergingProfiles() {
+		fmt.Printf("  %-12s nearest CPU2017 benchmark: %-18s (normalized distance %.2f)\n",
+			p.Name, em.NearestCPU2017[p.Name], em.NormDistance[p.Name])
+	}
+
+	fmt.Println("\nconfiguration sensitivity (Table IX)...")
+	tables, err := repro.Table9(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Printf("  %-18s High: %s\n", t.Structure, strings.Join(t.High, ", "))
+	}
+}

@@ -1,0 +1,55 @@
+// Inputsets: reproduce the paper's Section IV-C and IV-D analyses —
+// how similar are the multiple reference inputs of each CPU2017
+// benchmark (Figures 7/8), which input represents each benchmark best
+// (Table VII), and how far apart are the rate and speed versions of
+// each benchmark family?
+//
+// Run with:
+//
+//	go run ./examples/inputsets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	lab := repro.NewLab(repro.FastRunOptions())
+
+	fmt.Println("clustering the INT benchmarks' input sets (Figure 7)...")
+	res, err := repro.Fig7(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Similarity.Dendrogram.Render(60))
+	fmt.Println("input-set cohesion (well below 1 = inputs of one benchmark cluster together):")
+	for bench, coh := range res.Cohesion {
+		fmt.Printf("  %-18s %.2f\n", bench, coh)
+	}
+
+	fmt.Println("\nmost representative input set per benchmark (Table VII):")
+	reps, err := repro.Table7(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reps {
+		fmt.Printf("  %-18s input set %d\n", r.Benchmark, r.Input)
+	}
+
+	fmt.Println("\nrate vs speed similarity (Section IV-D, sorted by distance):")
+	pairs, err := repro.RateSpeed(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		mark := ""
+		if p.Divergent {
+			mark = "  <- divergent (use both versions)"
+		}
+		fmt.Printf("  %-12s %6.2f%s\n", p.Base, p.Distance, mark)
+	}
+}

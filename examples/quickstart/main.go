@@ -1,0 +1,62 @@
+// Quickstart: characterize a handful of SPEC CPU2017 benchmarks on
+// the simulated seven-machine fleet, run the paper's PCA + clustering
+// similarity pipeline on them, and print the dendrogram and a
+// 3-benchmark representative subset.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	// Pick six behaviourally diverse benchmarks from the database.
+	names := []string{
+		"505.mcf_r",       // memory-bound pointer chaser
+		"541.leela_r",     // branch-misprediction bound
+		"525.x264_r",      // SIMD-heavy, cache-resident
+		"549.fotonik3d_r", // highest L1D miss rate in the suite
+		"508.namd_r",      // compute-bound floating point
+		"523.xalancbmk_r", // branchy C++ document processing
+	}
+	var entries []repro.Entry
+	for _, n := range names {
+		p, err := repro.ProfileByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, repro.Entry{Label: p.Name, Workload: p.Workload()})
+	}
+
+	// Measure them on the paper's seven Table IV machines.
+	fleet, err := repro.Fleet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measuring %d benchmarks on %d machines...\n\n", len(entries), len(fleet))
+	char, err := repro.Characterize(entries, fleet, repro.FastRunOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PCA (Kaiser criterion) + Ward hierarchical clustering.
+	sim, err := char.Similarity(repro.DefaultSimilarityOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retained %d principal components covering %.0f%% of variance\n\n",
+		sim.NumPCs, sim.PCA.CumVarExplained[sim.NumPCs-1]*100)
+	fmt.Println(sim.Dendrogram.Render(60))
+
+	subset := sim.Subset(3)
+	fmt.Printf("most distinct benchmark: %s\n", sim.MostDistinct())
+	fmt.Printf("3-benchmark representative subset: %s\n",
+		strings.Join(subset.Representatives, ", "))
+}

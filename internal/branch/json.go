@@ -1,0 +1,29 @@
+package branch
+
+import "fmt"
+
+// MarshalText encodes the predictor kind as its conventional name, so
+// machine configuration files read "gshare" rather than an integer.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case Bimodal, GShare, Tournament:
+		return []byte(k.String()), nil
+	default:
+		return nil, fmt.Errorf("branch: cannot marshal unknown kind %d", int(k))
+	}
+}
+
+// UnmarshalText decodes a predictor kind from its name.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "bimodal":
+		*k = Bimodal
+	case "gshare":
+		*k = GShare
+	case "tournament":
+		*k = Tournament
+	default:
+		return fmt.Errorf("branch: unknown predictor kind %q", text)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package cache implements a trace-driven, set-associative cache
+// simulator with true-LRU replacement, plus a composable multi-level
+// hierarchy with split instruction/data accounting. It is the
+// measurement substrate that replaces the paper's hardware cache
+// performance counters (L1I/L1D/L2/L3 MPKI, Table II and Table III).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a positive multiple of
+	// LineBytes*Ways.
+	SizeBytes int
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+	// LineBytes is the block size; must be a power of two.
+	LineBytes int
+}
+
+// Validate reports a descriptive error for impossible geometries.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*line (%d*%d)", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Cache is a single simulated cache level. Create with New.
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets × ways
+	valid     []bool
+	lru       []uint8 // per-line LRU age: 0 = most recent
+	accesses  uint64
+	misses    uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	if cfg.Ways > 255 {
+		return nil, fmt.Errorf("cache: associativity %d exceeds supported maximum 255", cfg.Ways)
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		lru:       make([]uint8, sets*cfg.Ways),
+	}
+	// Seed every set's ages with the permutation 0..ways-1. The touch
+	// rule below preserves the permutation invariant, giving exact LRU.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.lru[s*cfg.Ways+w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates a reference to addr and reports whether it hit.
+// Misses allocate (write-allocate for stores, fetch for loads).
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.cfg.Ways
+	c.accesses++
+
+	hitWay := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+
+	c.misses++
+	// Victim: the oldest way. Ages are a permutation of 0..ways-1 per
+	// set (touch preserves the invariant), so the maximum is unique.
+	// Invalid ways are never touched, so they hold the oldest ages and
+	// are filled before any valid line is evicted.
+	victim, oldest := 0, c.lru[base]
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] > oldest {
+			victim, oldest = w, c.lru[base+w]
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.touch(base, victim)
+	return false
+}
+
+// touch makes way the most recently used entry in its set.
+func (c *Cache) touch(base, way int) {
+	cur := c.lru[base+way]
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < cur {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Stats returns accesses and misses since creation or the last Reset.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// ResetStats clears the counters but keeps cache contents, so warmup
+// references can be excluded from measurement.
+func (c *Cache) ResetStats() { c.accesses, c.misses = 0, 0 }
+
+// Hierarchy models the three-level structure shared by the machines in
+// Table IV: split L1 I/D, a unified (or split-per-core, modelled as
+// unified) L2, and an optional unified L3. Instruction and data misses
+// are accounted separately at L2 so the paper's L2I$/L2D$ MPKI metrics
+// can be reported.
+type Hierarchy struct {
+	L1I, L1D *Cache
+	L2       *Cache
+	L3       *Cache // nil when the machine has no L3 (e.g. Xeon E5405)
+
+	l2IAccesses, l2IMisses uint64
+	l2DAccesses, l2DMisses uint64
+	l3Accesses, l3Misses   uint64
+}
+
+// HierarchyConfig assembles a Hierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	L3           *Config
+}
+
+// NewHierarchy builds the hierarchy, validating every level.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, fmt.Errorf("L1I: %w", err)
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	h := &Hierarchy{L1I: l1i, L1D: l1d, L2: l2}
+	if cfg.L3 != nil {
+		l3, err := New(*cfg.L3)
+		if err != nil {
+			return nil, fmt.Errorf("L3: %w", err)
+		}
+		h.L3 = l3
+	}
+	return h, nil
+}
+
+// FetchInstr simulates an instruction fetch of addr through the
+// hierarchy and returns the deepest level that missed
+// (0 = L1 hit, 1 = L1 miss/L2 hit, 2 = L2 miss/L3 hit, 3 = memory).
+func (h *Hierarchy) FetchInstr(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return 0
+	}
+	h.l2IAccesses++
+	if h.L2.Access(addr) {
+		return 1
+	}
+	h.l2IMisses++
+	return h.accessL3(addr)
+}
+
+// AccessData simulates a load or store of addr and returns the deepest
+// level that missed, with the same encoding as FetchInstr.
+func (h *Hierarchy) AccessData(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return 0
+	}
+	h.l2DAccesses++
+	if h.L2.Access(addr) {
+		return 1
+	}
+	h.l2DMisses++
+	return h.accessL3(addr)
+}
+
+func (h *Hierarchy) accessL3(addr uint64) int {
+	if h.L3 == nil {
+		return 3
+	}
+	h.l3Accesses++
+	if h.L3.Access(addr) {
+		return 2
+	}
+	h.l3Misses++
+	return 3
+}
+
+// Counts aggregates the hierarchy's miss statistics.
+type Counts struct {
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2IAccesses, L2IMisses uint64
+	L2DAccesses, L2DMisses uint64
+	L3Accesses, L3Misses   uint64
+}
+
+// Counts returns a snapshot of all levels' counters.
+func (h *Hierarchy) Counts() Counts {
+	c := Counts{
+		L2IAccesses: h.l2IAccesses, L2IMisses: h.l2IMisses,
+		L2DAccesses: h.l2DAccesses, L2DMisses: h.l2DMisses,
+		L3Accesses: h.l3Accesses, L3Misses: h.l3Misses,
+	}
+	c.L1IAccesses, c.L1IMisses = h.L1I.Stats()
+	c.L1DAccesses, c.L1DMisses = h.L1D.Stats()
+	return c
+}
+
+// ResetStats clears counters on all levels, keeping contents warm.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	if h.L3 != nil {
+		h.L3.ResetStats()
+	}
+	h.l2IAccesses, h.l2IMisses = 0, 0
+	h.l2DAccesses, h.l2DMisses = 0, 0
+	h.l3Accesses, h.l3Misses = 0, 0
+}

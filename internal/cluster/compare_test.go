@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCopheneticCorrelationIdenticalTrees(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {5}, {6}, {20}}
+	d1, err := Cluster(pts, nil, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Cluster(pts, nil, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []int{0, 1, 2, 3, 4}
+	r, err := CopheneticCorrelation(d1, d2, items, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("identical trees should correlate at 1, got %v", r)
+	}
+}
+
+func TestCopheneticCorrelationSimilarVsScrambled(t *testing.T) {
+	r := rng.New(3)
+	base := make([][]float64, 12)
+	similar := make([][]float64, 12)
+	for i := range base {
+		x, y := r.Float64()*10, r.Float64()*10
+		base[i] = []float64{x, y}
+		similar[i] = []float64{x + (r.Float64()-0.5)*0.2, y + (r.Float64()-0.5)*0.2}
+	}
+	scrambled := make([][]float64, 12)
+	for i := range scrambled {
+		scrambled[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+	}
+	dBase, _ := Cluster(base, nil, Ward)
+	dSim, _ := Cluster(similar, nil, Ward)
+	dScr, _ := Cluster(scrambled, nil, Ward)
+	items := make([]int, 12)
+	for i := range items {
+		items[i] = i
+	}
+	rSim, err := CopheneticCorrelation(dBase, dSim, items, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rScr, err := CopheneticCorrelation(dBase, dScr, items, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSim < 0.9 {
+		t.Fatalf("perturbed tree should correlate highly, got %v", rSim)
+	}
+	if rScr >= rSim {
+		t.Fatalf("scrambled tree (%v) should correlate below the perturbed tree (%v)", rScr, rSim)
+	}
+}
+
+func TestCopheneticCorrelationErrors(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	d, _ := Cluster(pts, nil, Ward)
+	if _, err := CopheneticCorrelation(d, d, []int{0, 1}, []int{0}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := CopheneticCorrelation(d, d, []int{0, 1}, []int{0, 1}); err == nil {
+		t.Fatal("fewer than 3 items must error")
+	}
+	if _, err := CopheneticCorrelation(d, d, []int{0, 1, 9}, []int{0, 1, 2}); err == nil {
+		t.Fatal("out-of-range item must error")
+	}
+}

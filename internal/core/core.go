@@ -1,0 +1,319 @@
+// Package core implements the paper's methodology (Section III) as a
+// reusable pipeline: characterize workloads on a fleet of machines
+// into a benchmark × (machine,metric) measurement matrix, remove
+// metric correlation with PCA under the Kaiser criterion, measure
+// program similarity by hierarchical clustering in the reduced space,
+// and derive representative subsets, input-set selections,
+// rate-vs-speed comparisons, coverage analyses, and sensitivity
+// classifications from the result.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Entry is one workload to characterize, with its display label.
+type Entry struct {
+	Label    string
+	Workload machine.Workload
+}
+
+// Characterization is the measurement matrix of a workload set on a
+// machine fleet — the paper's "43 benchmarks × 140 metrics" object.
+type Characterization struct {
+	// Labels are the row names in order.
+	Labels []string
+	// MachineNames are the fleet machines in order.
+	MachineNames []string
+
+	samples map[string]map[string]*counters.Sample   // label -> machine -> sample
+	raw     map[string]map[string]*machine.RawCounts // label -> machine -> raw counts
+}
+
+// Characterize measures every entry on every machine. Runs are
+// independent and execute in parallel; results are deterministic
+// regardless of scheduling.
+func Characterize(entries []Entry, machines []*machine.Machine, opts machine.RunOptions) (*Characterization, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: no workloads to characterize")
+	}
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("core: no machines to measure on")
+	}
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Label == "" {
+			return nil, fmt.Errorf("core: entry with empty label")
+		}
+		if seen[e.Label] {
+			return nil, fmt.Errorf("core: duplicate label %q", e.Label)
+		}
+		seen[e.Label] = true
+	}
+
+	c := &Characterization{
+		samples: make(map[string]map[string]*counters.Sample, len(entries)),
+		raw:     make(map[string]map[string]*machine.RawCounts, len(entries)),
+	}
+	for _, e := range entries {
+		c.Labels = append(c.Labels, e.Label)
+		c.samples[e.Label] = make(map[string]*counters.Sample, len(machines))
+		c.raw[e.Label] = make(map[string]*machine.RawCounts, len(machines))
+	}
+	for _, m := range machines {
+		c.MachineNames = append(c.MachineNames, m.Name())
+	}
+
+	type job struct {
+		entry Entry
+		mach  *machine.Machine
+	}
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries)*len(machines) {
+		workers = len(entries) * len(machines)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rc, err := j.mach.Run(j.entry.Workload, opts)
+				var sample *counters.Sample
+				if err == nil {
+					sample, err = counters.FromRaw(j.mach.Name(), j.mach.Config().HasRAPL, rc)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: %s on %s: %w", j.entry.Label, j.mach.Name(), err)
+					}
+				} else {
+					c.samples[j.entry.Label][j.mach.Name()] = sample
+					c.raw[j.entry.Label][j.mach.Name()] = rc
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, e := range entries {
+		for _, m := range machines {
+			jobs <- job{entry: e, mach: m}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return c, nil
+}
+
+// Sample returns the metric sample for one workload on one machine.
+func (c *Characterization) Sample(label, machineName string) (*counters.Sample, error) {
+	per, ok := c.samples[label]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", label)
+	}
+	s, ok := per[machineName]
+	if !ok {
+		return nil, fmt.Errorf("core: workload %q not measured on %q", label, machineName)
+	}
+	return s, nil
+}
+
+// Raw returns the raw counts for one workload on one machine.
+func (c *Characterization) Raw(label, machineName string) (*machine.RawCounts, error) {
+	per, ok := c.raw[label]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", label)
+	}
+	rc, ok := per[machineName]
+	if !ok {
+		return nil, fmt.Errorf("core: workload %q not measured on %q", label, machineName)
+	}
+	return rc, nil
+}
+
+// Select returns a view of the characterization restricted to the
+// given row labels, in the given order.
+func (c *Characterization) Select(labels []string) (*Characterization, error) {
+	out := &Characterization{
+		MachineNames: c.MachineNames,
+		samples:      make(map[string]map[string]*counters.Sample, len(labels)),
+		raw:          make(map[string]map[string]*machine.RawCounts, len(labels)),
+	}
+	for _, l := range labels {
+		if _, ok := c.samples[l]; !ok {
+			return nil, fmt.Errorf("core: unknown workload %q", l)
+		}
+		out.Labels = append(out.Labels, l)
+		out.samples[l] = c.samples[l]
+		out.raw[l] = c.raw[l]
+	}
+	return out, nil
+}
+
+// Merge combines two characterizations measured on the same fleet.
+// Duplicate labels are rejected.
+func (c *Characterization) Merge(other *Characterization) (*Characterization, error) {
+	if len(c.MachineNames) != len(other.MachineNames) {
+		return nil, fmt.Errorf("core: merging characterizations from different fleets")
+	}
+	for i, m := range c.MachineNames {
+		if other.MachineNames[i] != m {
+			return nil, fmt.Errorf("core: merging characterizations from different fleets")
+		}
+	}
+	out := &Characterization{
+		MachineNames: c.MachineNames,
+		samples:      make(map[string]map[string]*counters.Sample),
+		raw:          make(map[string]map[string]*machine.RawCounts),
+	}
+	add := func(src *Characterization) error {
+		for _, l := range src.Labels {
+			if _, dup := out.samples[l]; dup {
+				return fmt.Errorf("core: duplicate label %q in merge", l)
+			}
+			out.Labels = append(out.Labels, l)
+			out.samples[l] = src.samples[l]
+			out.raw[l] = src.raw[l]
+		}
+		return nil
+	}
+	if err := add(c); err != nil {
+		return nil, err
+	}
+	if err := add(other); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Matrix assembles the measurement matrix over the given metrics and
+// machines (nil means all). Power metrics are included only for
+// machines that have them. The returned column names identify each
+// (machine, metric) variable.
+func (c *Characterization) Matrix(metrics []counters.Metric, machines []string) (*stats.Matrix, []string, error) {
+	if machines == nil {
+		machines = c.MachineNames
+	}
+	// Determine the columns: for each machine, the requested metrics it
+	// actually has.
+	type col struct {
+		machine string
+		metric  counters.Metric
+	}
+	var cols []col
+	if len(c.Labels) == 0 {
+		return nil, nil, fmt.Errorf("core: empty characterization")
+	}
+	probe := c.samples[c.Labels[0]]
+	for _, m := range machines {
+		s, ok := probe[m]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: machine %q not in characterization", m)
+		}
+		want := metrics
+		if want == nil {
+			want = s.Metrics()
+		}
+		for _, metric := range want {
+			if _, err := s.Value(metric); err == nil {
+				cols = append(cols, col{machine: m, metric: metric})
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return nil, nil, fmt.Errorf("core: no matching metric columns")
+	}
+
+	matrix := stats.NewMatrix(len(c.Labels), len(cols))
+	names := make([]string, len(cols))
+	for j, cl := range cols {
+		names[j] = counters.ColumnID(cl.machine, cl.metric)
+	}
+	for i, label := range c.Labels {
+		for j, cl := range cols {
+			s := c.samples[label][cl.machine]
+			v, err := s.Value(cl.metric)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s on %s: %w", label, cl.machine, err)
+			}
+			matrix.Set(i, j, v)
+		}
+	}
+	return matrix, names, nil
+}
+
+// MetricAcross returns one metric's value for one workload on each of
+// the given machines (nil = all), in machine order.
+func (c *Characterization) MetricAcross(label string, metric counters.Metric, machines []string) ([]float64, error) {
+	if machines == nil {
+		machines = c.MachineNames
+	}
+	out := make([]float64, 0, len(machines))
+	for _, m := range machines {
+		s, err := c.Sample(label, m)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.Value(metric)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MetricRange reports the min and max of a metric across the given
+// workloads on one machine — the Table II "range of important
+// performance characteristics" computation.
+func (c *Characterization) MetricRange(labels []string, machineName string, metric counters.Metric) (min, max float64, err error) {
+	if len(labels) == 0 {
+		return 0, 0, fmt.Errorf("core: no labels")
+	}
+	first := true
+	for _, l := range labels {
+		s, err := c.Sample(l, machineName)
+		if err != nil {
+			return 0, 0, err
+		}
+		v, err := s.Value(metric)
+		if err != nil {
+			return 0, 0, err
+		}
+		if first {
+			min, max, first = v, v, false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, nil
+}
+
+// SortedLabels returns the labels in lexicographic order (the stored
+// order is preserved in Labels).
+func (c *Characterization) SortedLabels() []string {
+	out := append([]string(nil), c.Labels...)
+	sort.Strings(out)
+	return out
+}

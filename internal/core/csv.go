@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/counters"
+)
+
+// WriteCSV emits the measurement matrix as CSV: one row per workload,
+// one column per (machine, metric) variable, with a header row of
+// column identifiers ("machine:metric") and a leading "workload"
+// column. This is the raw matrix a researcher would feed to their own
+// statistics stack.
+func (c *Characterization) WriteCSV(w io.Writer, metrics []counters.Metric, machines []string) error {
+	matrix, cols, err := c.Matrix(metrics, machines)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"workload"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: writing CSV header: %w", err)
+	}
+	row := make([]string, len(cols)+1)
+	for i, label := range c.Labels {
+		row[0] = label
+		for j := 0; j < matrix.Cols(); j++ {
+			row[j+1] = strconv.FormatFloat(matrix.At(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+)
+
+func TestWriteCSV(t *testing.T) {
+	c := getFixture(t)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != len(c.Labels)+1 {
+		t.Fatalf("CSV has %d rows, want %d", len(records), len(c.Labels)+1)
+	}
+	wantCols := 19*3 + 3 + 1 // base metrics on 3 machines + Skylake power + label
+	if len(records[0]) != wantCols {
+		t.Fatalf("CSV has %d columns, want %d", len(records[0]), wantCols)
+	}
+	if records[0][0] != "workload" {
+		t.Fatalf("header starts with %q", records[0][0])
+	}
+	// Every data cell must parse as a float, and the values must match
+	// the samples exactly.
+	colIdx := -1
+	for j, h := range records[0] {
+		if h == machine.Skylake+":l1d_mpki" {
+			colIdx = j
+		}
+	}
+	if colIdx < 0 {
+		t.Fatal("missing skylake l1d column")
+	}
+	for i := 1; i < len(records); i++ {
+		v, err := strconv.ParseFloat(records[i][colIdx], 64)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		s, err := c.Sample(records[i][0], machine.Skylake)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MustValue(counters.L1DMPKI); got != v {
+			t.Fatalf("row %d: CSV %v != sample %v", i, v, got)
+		}
+	}
+}
+
+func TestWriteCSVMetricSubset(t *testing.T) {
+	c := getFixture(t)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf, counters.BranchMetrics(), []string{machine.Skylake}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records[0]) != 4 { // label + 3 branch metrics
+		t.Fatalf("subset CSV has %d columns", len(records[0]))
+	}
+}
+
+func TestWriteCSVUnknownMachine(t *testing.T) {
+	c := getFixture(t)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf, nil, []string{"nope"}); err == nil {
+		t.Fatal("unknown machine must error")
+	}
+}

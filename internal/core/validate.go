@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpistack"
+	"repro/internal/perfdb"
+)
+
+// Stacks collects the CPI stacks of every workload measured on one
+// machine, keyed by label — the input to perfdb.Build and to the
+// Figure 1 CPI-stack rendering.
+func (c *Characterization) Stacks(machineName string) (map[string]cpistack.Stack, error) {
+	out := make(map[string]cpistack.Stack, len(c.Labels))
+	for _, l := range c.Labels {
+		rc, err := c.Raw(l, machineName)
+		if err != nil {
+			return nil, err
+		}
+		out[l] = rc.Stack
+	}
+	return out, nil
+}
+
+// BuildPerfDB constructs the synthetic commercial-results database
+// from the workloads' CPI stacks on a reference machine.
+func (c *Characterization) BuildPerfDB(refMachine string, systems []perfdb.System) (*perfdb.DB, error) {
+	stacks, err := c.Stacks(refMachine)
+	if err != nil {
+		return nil, err
+	}
+	db, err := perfdb.Build(stacks, systems)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return db, nil
+}
+
+// SimulationTimeReduction estimates the speed-simulation savings of a
+// subset as (total dynamic instructions of the suite) / (total dynamic
+// instructions of the subset), the measure behind the paper's "reduce
+// the total simulation time by 5.6x / 4.5x / 6.3x" claims. The icounts
+// map is keyed by label (billions of instructions).
+func SimulationTimeReduction(subset, all []string, icounts map[string]float64) (float64, error) {
+	var sub, tot float64
+	for _, l := range all {
+		v, ok := icounts[l]
+		if !ok {
+			return 0, fmt.Errorf("core: no instruction count for %q", l)
+		}
+		tot += v
+	}
+	for _, l := range subset {
+		v, ok := icounts[l]
+		if !ok {
+			return 0, fmt.Errorf("core: no instruction count for %q", l)
+		}
+		sub += v
+	}
+	if sub <= 0 {
+		return 0, fmt.Errorf("core: subset has zero instructions")
+	}
+	return tot / sub, nil
+}

@@ -1,0 +1,162 @@
+// Package counters defines the performance-metric schema of the
+// paper's Table III and converts raw simulation counts into named
+// metric vectors. Treating each (metric, machine) pair as one variable
+// — 19 metrics on each of 7 machines plus 3 power metrics on the 3
+// RAPL-capable Intel machines, 142 variables in total — reproduces the
+// paper's "140 metrics" measurement matrix.
+package counters
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Metric names one performance characteristic measured on one machine.
+type Metric string
+
+// The Table III metric set.
+//
+// Cache metrics are misses per kilo-instruction (MPKI); TLB metrics
+// are misses per million instructions (MPMI); branch metrics are per
+// kilo-instruction; instruction-mix metrics are percentages; power
+// metrics are watts.
+const (
+	L1IMPKI Metric = "l1i_mpki"
+	L1DMPKI Metric = "l1d_mpki"
+	L2IMPKI Metric = "l2i_mpki"
+	L2DMPKI Metric = "l2d_mpki"
+	L3MPKI  Metric = "l3_mpki"
+
+	ITLBMPMI     Metric = "itlb_mpmi"
+	DTLBMPMI     Metric = "dtlb_mpmi"
+	L2TLBMPMI    Metric = "l2tlb_mpmi"
+	PageWalksPMI Metric = "pagewalks_pmi"
+
+	BranchMPKI Metric = "branch_mpki"
+	TakenPKI   Metric = "taken_pki"
+
+	PctKernel Metric = "pct_kernel"
+	PctUser   Metric = "pct_user"
+	PctInt    Metric = "pct_int"
+	PctFP     Metric = "pct_fp"
+	PctLoad   Metric = "pct_load"
+	PctStore  Metric = "pct_store"
+	PctBranch Metric = "pct_branch"
+	PctSIMD   Metric = "pct_simd"
+
+	CorePower Metric = "core_power_w"
+	LLCPower  Metric = "llc_power_w"
+	MemPower  Metric = "mem_power_w"
+)
+
+// BaseMetrics returns the 19 non-power metrics in canonical order.
+func BaseMetrics() []Metric {
+	return []Metric{
+		L1IMPKI, L1DMPKI, L2IMPKI, L2DMPKI, L3MPKI,
+		ITLBMPMI, DTLBMPMI, L2TLBMPMI, PageWalksPMI,
+		BranchMPKI, TakenPKI,
+		PctKernel, PctUser, PctInt, PctFP, PctLoad, PctStore, PctBranch, PctSIMD,
+	}
+}
+
+// PowerMetrics returns the three RAPL-derived metrics of Figure 12.
+func PowerMetrics() []Metric { return []Metric{CorePower, LLCPower, MemPower} }
+
+// BranchMetrics returns the branch-behaviour group used for the
+// Figure 9 scatter analysis.
+func BranchMetrics() []Metric { return []Metric{BranchMPKI, TakenPKI, PctBranch} }
+
+// DCacheMetrics returns the data-locality group of Figure 10(a).
+func DCacheMetrics() []Metric {
+	return []Metric{L1DMPKI, L2DMPKI, L3MPKI, PctLoad, PctStore}
+}
+
+// ICacheMetrics returns the instruction-locality group of Figure 10(b).
+func ICacheMetrics() []Metric { return []Metric{L1IMPKI, L2IMPKI, ITLBMPMI} }
+
+// Sample is the metric vector measured for one workload on one machine.
+type Sample struct {
+	// Machine is the measuring machine's name.
+	Machine string
+	// HasPower reports whether the power metrics are meaningful.
+	HasPower bool
+	values   map[Metric]float64
+}
+
+// Value returns the sample's value for metric m.
+func (s *Sample) Value(m Metric) (float64, error) {
+	v, ok := s.values[m]
+	if !ok {
+		return 0, fmt.Errorf("counters: machine %s has no metric %s", s.Machine, m)
+	}
+	return v, nil
+}
+
+// MustValue is Value for metrics known to exist; it panics otherwise.
+func (s *Sample) MustValue(m Metric) float64 {
+	v, err := s.Value(m)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Metrics returns the metric names present in the sample, in canonical
+// order.
+func (s *Sample) Metrics() []Metric {
+	ms := BaseMetrics()
+	if s.HasPower {
+		ms = append(ms, PowerMetrics()...)
+	}
+	return ms
+}
+
+// FromRaw converts raw simulation counts into a metric sample.
+func FromRaw(machineName string, hasPower bool, rc *machine.RawCounts) (*Sample, error) {
+	if rc.Instructions == 0 {
+		return nil, fmt.Errorf("counters: zero instructions in sample from %s", machineName)
+	}
+	n := float64(rc.Instructions)
+	perKI := func(c uint64) float64 { return float64(c) / n * 1e3 }
+	perMI := func(c uint64) float64 { return float64(c) / n * 1e6 }
+	pct := func(c uint64) float64 { return float64(c) / n * 100 }
+
+	intOps := rc.Instructions - rc.Loads - rc.Stores - rc.Branches - rc.FPOps - rc.SIMDOps
+	v := map[Metric]float64{
+		L1IMPKI: perKI(rc.Cache.L1IMisses),
+		L1DMPKI: perKI(rc.Cache.L1DMisses),
+		L2IMPKI: perKI(rc.Cache.L2IMisses),
+		L2DMPKI: perKI(rc.Cache.L2DMisses),
+		L3MPKI:  perKI(rc.Cache.L3Misses),
+
+		ITLBMPMI:     perMI(rc.TLB.ITLBMisses),
+		DTLBMPMI:     perMI(rc.TLB.DTLBMisses),
+		L2TLBMPMI:    perMI(rc.TLB.L2Misses),
+		PageWalksPMI: perMI(rc.TLB.PageWalks),
+
+		BranchMPKI: perKI(rc.Mispredicts),
+		TakenPKI:   perKI(rc.TakenBranches),
+
+		PctKernel: pct(rc.KernelInstrs),
+		PctUser:   100 - pct(rc.KernelInstrs),
+		PctInt:    pct(intOps),
+		PctFP:     pct(rc.FPOps),
+		PctLoad:   pct(rc.Loads),
+		PctStore:  pct(rc.Stores),
+		PctBranch: pct(rc.Branches),
+		PctSIMD:   pct(rc.SIMDOps),
+	}
+	if hasPower {
+		v[CorePower] = rc.Power.Core
+		v[LLCPower] = rc.Power.LLC
+		v[MemPower] = rc.Power.DRAM
+	}
+	return &Sample{Machine: machineName, HasPower: hasPower, values: v}, nil
+}
+
+// ColumnID names one (machine, metric) variable in the assembled
+// measurement matrix.
+func ColumnID(machineName string, m Metric) string {
+	return machineName + ":" + string(m)
+}

@@ -1,0 +1,87 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/tlb"
+)
+
+// Property: the instruction-mix percentages partition the instruction
+// stream (int+fp+simd+load+store+branch = 100, kernel+user = 100) for
+// any consistent raw-count vector.
+func TestMixPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := uint64(1000 + r.Intn(1_000_000))
+		// Split n into six non-negative categories.
+		loads := r.Uint64n(n / 3)
+		stores := r.Uint64n(n / 4)
+		branches := r.Uint64n(n / 5)
+		rest := n - loads - stores - branches
+		fp := r.Uint64n(rest + 1)
+		simd := r.Uint64n(rest - fp + 1)
+		kernel := r.Uint64n(n + 1)
+
+		rc := &machine.RawCounts{
+			Instructions: n, Loads: loads, Stores: stores,
+			Branches: branches, FPOps: fp, SIMDOps: simd,
+			KernelInstrs: kernel,
+			Cache:        cache.Counts{}, TLB: tlb.Counts{},
+		}
+		s, err := FromRaw("m", false, rc)
+		if err != nil {
+			return false
+		}
+		mix := s.MustValue(PctInt) + s.MustValue(PctFP) + s.MustValue(PctSIMD) +
+			s.MustValue(PctLoad) + s.MustValue(PctStore) + s.MustValue(PctBranch)
+		if math.Abs(mix-100) > 1e-9 {
+			return false
+		}
+		return math.Abs(s.MustValue(PctKernel)+s.MustValue(PctUser)-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all rate metrics are non-negative and finite.
+func TestMetricsFiniteProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := uint64(1000 + r.Intn(100_000))
+		rc := &machine.RawCounts{
+			Instructions: n,
+			Loads:        r.Uint64n(n / 2),
+			Branches:     r.Uint64n(n / 4),
+			Mispredicts:  r.Uint64n(n / 8),
+			Cache: cache.Counts{
+				L1IMisses: r.Uint64n(n), L1DMisses: r.Uint64n(n),
+				L2IMisses: r.Uint64n(n), L2DMisses: r.Uint64n(n),
+				L3Misses: r.Uint64n(n),
+			},
+			TLB: tlb.Counts{
+				ITLBMisses: r.Uint64n(n), DTLBMisses: r.Uint64n(n),
+				L2Misses: r.Uint64n(n), PageWalks: r.Uint64n(n),
+			},
+		}
+		s, err := FromRaw("m", false, rc)
+		if err != nil {
+			return false
+		}
+		for _, m := range s.Metrics() {
+			v := s.MustValue(m)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -1e-9 && m != PctInt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfdb"
+	"repro/internal/workloads"
+)
+
+// This file holds ablations of the methodology's design choices.
+// None of them is in the paper; they quantify how much each choice —
+// linkage method, variance weighting of PC scores, Kaiser criterion,
+// subset size — matters to the headline results.
+
+// LinkageRow reports one (suite, linkage) subsetting outcome.
+type LinkageRow struct {
+	Suite workloads.Suite
+	// Method is the linkage used for the hierarchical clustering.
+	Method cluster.Linkage
+	// Subset is the 3-benchmark subset under that linkage.
+	Subset []string
+	// AvgError is the subset's weighted validation error against the
+	// full suite, averaged over the synthetic commercial systems.
+	AvgError float64
+	// MostDistinct is the benchmark merging last under that linkage.
+	MostDistinct string
+}
+
+// AblateLinkage re-derives the Table V subsets under all four linkage
+// methods. The paper uses Ward; single linkage is known to chain, and
+// this ablation shows what that does to subset quality.
+func AblateLinkage(lab *Lab) ([]LinkageRow, error) {
+	var rows []LinkageRow
+	for _, suite := range []workloads.Suite{workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP} {
+		c, err := lab.suiteChar(suite)
+		if err != nil {
+			return nil, err
+		}
+		cat, err := categoryKey(suite)
+		if err != nil {
+			return nil, err
+		}
+		db, err := c.BuildPerfDB(refMachineName, perfdb.SystemsFor(cat))
+		if err != nil {
+			return nil, err
+		}
+		all := SuiteNames(suite)
+		for _, method := range []cluster.Linkage{cluster.Single, cluster.Complete, cluster.Average, cluster.Ward} {
+			opts := core.DefaultSimilarityOptions()
+			opts.Linkage = method
+			sim, err := c.Similarity(opts)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Subset(3)
+			v, err := db.ValidateWeighted(res.Representatives, clusterWeights(res), all)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, LinkageRow{
+				Suite:        suite,
+				Method:       method,
+				Subset:       res.Representatives,
+				AvgError:     v.Avg,
+				MostDistinct: sim.MostDistinct(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// clusterWeights maps a subset's representatives to their cluster
+// sizes, in representative order.
+func clusterWeights(res core.SubsetResult) []float64 {
+	weights := make([]float64, len(res.Representatives))
+	for i, rep := range res.Representatives {
+		for _, cl := range res.Clusters {
+			for _, member := range cl {
+				if member == rep {
+					weights[i] = float64(len(cl))
+				}
+			}
+		}
+	}
+	return weights
+}
+
+// SubsetSizeRow reports subset quality at one size k.
+type SubsetSizeRow struct {
+	Suite workloads.Suite
+	K     int
+	// AvgError is the weighted validation error at this size.
+	AvgError float64
+	// SimTimeReduction is total-suite instructions over subset
+	// instructions.
+	SimTimeReduction float64
+}
+
+// SubsetSizeSweep quantifies the paper's remark that "including more
+// benchmarks in the subset can reduce the prediction error, but will
+// also increase the simulation time": it derives subsets of size
+// 1..maxK per sub-suite and reports error and simulation-time
+// reduction at each size.
+func SubsetSizeSweep(lab *Lab, maxK int) ([]SubsetSizeRow, error) {
+	if maxK < 1 {
+		return nil, fmt.Errorf("experiments: maxK %d", maxK)
+	}
+	var rows []SubsetSizeRow
+	for _, suite := range []workloads.Suite{workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP} {
+		c, err := lab.suiteChar(suite)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := c.Similarity(core.DefaultSimilarityOptions())
+		if err != nil {
+			return nil, err
+		}
+		cat, err := categoryKey(suite)
+		if err != nil {
+			return nil, err
+		}
+		db, err := c.BuildPerfDB(refMachineName, perfdb.SystemsFor(cat))
+		if err != nil {
+			return nil, err
+		}
+		all := SuiteNames(suite)
+		icounts := make(map[string]float64)
+		for _, p := range workloads.BySuite(suite) {
+			icounts[p.Name] = p.DynInstrBillions
+		}
+		limit := maxK
+		if limit > len(all) {
+			limit = len(all)
+		}
+		for k := 1; k <= limit; k++ {
+			res := sim.Subset(k)
+			v, err := db.ValidateWeighted(res.Representatives, clusterWeights(res), all)
+			if err != nil {
+				return nil, err
+			}
+			red, err := core.SimulationTimeReduction(res.Representatives, all, icounts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SubsetSizeRow{
+				Suite: suite, K: k, AvgError: v.Avg, SimTimeReduction: red,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WeightingRow compares variance-weighted and unweighted PC scores.
+type WeightingRow struct {
+	Suite workloads.Suite
+	// WeightedSubset / UnweightedSubset are the 3-benchmark subsets
+	// under each scoring.
+	WeightedSubset, UnweightedSubset []string
+	// Agree reports whether the two subsets coincide.
+	Agree bool
+}
+
+// AblateScoreWeighting re-derives the subsets with the
+// sqrt-eigenvalue weighting of PC scores disabled. The weighting makes
+// Euclidean distance respect each component's variance share; this
+// ablation shows whether the headline subsets depend on it.
+func AblateScoreWeighting(lab *Lab) ([]WeightingRow, error) {
+	var rows []WeightingRow
+	for _, suite := range []workloads.Suite{workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP} {
+		c, err := lab.suiteChar(suite)
+		if err != nil {
+			return nil, err
+		}
+		weighted, err := c.Similarity(core.DefaultSimilarityOptions())
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultSimilarityOptions()
+		opts.UnweightedScores = true
+		unweighted, err := c.Similarity(opts)
+		if err != nil {
+			return nil, err
+		}
+		w := weighted.Subset(3).Representatives
+		u := unweighted.Subset(3).Representatives
+		rows = append(rows, WeightingRow{
+			Suite: suite, WeightedSubset: w, UnweightedSubset: u,
+			Agree: equalStrings(w, u),
+		})
+	}
+	return rows, nil
+}
+
+// PCSelectionRow compares the Kaiser criterion against a cumulative
+// variance target for dimensionality selection.
+type PCSelectionRow struct {
+	Suite workloads.Suite
+	// KaiserPCs and VariancePCs are the retained component counts
+	// under each rule (variance target 0.9).
+	KaiserPCs, VariancePCs int
+	// SubsetsAgree reports whether the 3-benchmark subsets coincide.
+	SubsetsAgree bool
+}
+
+// AblatePCSelection compares Kaiser-criterion dimensionality against
+// a 90% cumulative-variance target.
+func AblatePCSelection(lab *Lab) ([]PCSelectionRow, error) {
+	var rows []PCSelectionRow
+	for _, suite := range []workloads.Suite{workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP} {
+		c, err := lab.suiteChar(suite)
+		if err != nil {
+			return nil, err
+		}
+		kaiser, err := c.Similarity(core.DefaultSimilarityOptions())
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultSimilarityOptions()
+		opts.VarianceTarget = 0.9
+		variance, err := c.Similarity(opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PCSelectionRow{
+			Suite:     suite,
+			KaiserPCs: kaiser.NumPCs, VariancePCs: variance.NumPCs,
+			SubsetsAgree: equalStrings(
+				kaiser.Subset(3).Representatives,
+				variance.Subset(3).Representatives),
+		})
+	}
+	return rows, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

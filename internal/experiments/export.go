@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report bundles every experiment's result into one JSON-serializable
+// document, for downstream plotting or regression tracking. Heavy
+// in-memory objects (fitted PCA spaces, dendrogram trees) are omitted;
+// the rendered forms and the numbers the paper reports are included.
+type Report struct {
+	Table1 []Table1Row
+	Table2 []RangeRow
+	Fig1   []StackRow
+
+	Fig2, Fig3, Fig4, RateINT *DendrogramResult
+
+	Table5 []SubsetRow
+	Table6 []*ValidationRow
+
+	Fig7, Fig8 *InputSetResult
+	Table7     []RepresentativeInput
+	RateSpeed  []RateSpeedRow
+
+	Fig9        *ScatterResult
+	Fig10DCache *ScatterResult
+	Fig10ICache *ScatterResult
+
+	Table8 []DomainRow
+
+	Fig11Planes    []CoverageResult
+	Fig11Uncovered []string
+	Fig12Coverage  *CoverageResult
+	Fig13          *EmergingResult
+
+	Table9 []SensitivityTable
+
+	RateScaling    []RateScalingRow
+	TreeSimilarity []TreeSimilarityRow
+
+	AblationLinkage   []LinkageRow
+	AblationWeighting []WeightingRow
+	AblationPCs       []PCSelectionRow
+	SubsetSweep       []SubsetSizeRow
+}
+
+// BuildReport runs every experiment (and ablation) on the lab.
+func BuildReport(lab *Lab) (*Report, error) {
+	r := &Report{}
+	var err error
+	if r.Table1, err = Table1(lab); err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	if r.Table2, err = Table2(lab); err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	if r.Fig1, err = Fig1(lab); err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	if r.Fig2, err = Fig2(lab); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	if r.Fig3, err = Fig3(lab); err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	if r.Fig4, err = Fig4(lab); err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	if r.RateINT, err = RateINTDendrogram(lab); err != nil {
+		return nil, fmt.Errorf("rate-int dendrogram: %w", err)
+	}
+	if r.Table5, err = Table5(lab); err != nil {
+		return nil, fmt.Errorf("table5: %w", err)
+	}
+	if r.Table6, err = Table6(lab); err != nil {
+		return nil, fmt.Errorf("table6: %w", err)
+	}
+	if r.Fig7, err = Fig7(lab); err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	if r.Fig8, err = Fig8(lab); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	if r.Table7, err = Table7(lab); err != nil {
+		return nil, fmt.Errorf("table7: %w", err)
+	}
+	if r.RateSpeed, err = RateSpeed(lab); err != nil {
+		return nil, fmt.Errorf("ratespeed: %w", err)
+	}
+	if r.Fig9, err = Fig9(lab); err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	if r.Fig10DCache, r.Fig10ICache, err = Fig10(lab); err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	if r.Table8, err = Table8(lab); err != nil {
+		return nil, fmt.Errorf("table8: %w", err)
+	}
+	if r.Fig11Planes, r.Fig11Uncovered, err = Fig11(lab); err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	if r.Fig12Coverage, _, err = Fig12(lab); err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	if r.Fig13, err = Fig13(lab); err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	if r.Table9, err = Table9(lab); err != nil {
+		return nil, fmt.Errorf("table9: %w", err)
+	}
+	if r.AblationLinkage, err = AblateLinkage(lab); err != nil {
+		return nil, fmt.Errorf("ablation-linkage: %w", err)
+	}
+	if r.AblationWeighting, err = AblateScoreWeighting(lab); err != nil {
+		return nil, fmt.Errorf("ablation-weighting: %w", err)
+	}
+	if r.AblationPCs, err = AblatePCSelection(lab); err != nil {
+		return nil, fmt.Errorf("ablation-pcs: %w", err)
+	}
+	if r.SubsetSweep, err = SubsetSizeSweep(lab, 6); err != nil {
+		return nil, fmt.Errorf("subset-sweep: %w", err)
+	}
+	if r.RateScaling, err = RateScaling(lab, nil, []int{1, 2, 4, 8}); err != nil {
+		return nil, fmt.Errorf("rate-scaling: %w", err)
+	}
+	if r.TreeSimilarity, err = RateSpeedTreeSimilarity(lab); err != nil {
+		return nil, fmt.Errorf("tree-similarity: %w", err)
+	}
+	return r, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encoding report: %w", err)
+	}
+	return nil
+}

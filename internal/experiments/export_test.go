@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestBuildReportAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	report, err := BuildReport(lab(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Table1) != 43 || len(report.Table5) != 4 || len(report.Table9) != 3 {
+		t.Fatalf("report shapes wrong: %d/%d/%d", len(report.Table1), len(report.Table5), len(report.Table9))
+	}
+	if report.Fig2 == nil || report.Fig13 == nil {
+		t.Fatal("report missing figures")
+	}
+	if len(report.SubsetSweep) != 24 { // 4 suites x 6 sizes
+		t.Fatalf("subset sweep has %d rows", len(report.SubsetSweep))
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The document must round-trip as valid JSON and must not embed
+	// the heavy similarity spaces.
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	fig2, ok := decoded["Fig2"].(map[string]any)
+	if !ok {
+		t.Fatal("Fig2 missing from JSON")
+	}
+	if _, leaked := fig2["Similarity"]; leaked {
+		t.Fatal("similarity space leaked into JSON")
+	}
+	if fig2["MostDistinct"] != "605.mcf_s" {
+		t.Fatalf("JSON Fig2 most distinct = %v", fig2["MostDistinct"])
+	}
+}

@@ -1,0 +1,146 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation. Each experiment is a function taking a *Lab —
+// a lazily-built, cached characterization of all workloads on the
+// seven-machine fleet — and returning a structured, printable result.
+// The per-experiment index in DESIGN.md maps paper artifacts to the
+// functions in this package.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// Lab owns the shared measurement state. The zero value is not usable;
+// create with NewLab. All experiments sharing a Lab reuse one fleet
+// characterization, so the expensive simulation work happens once.
+type Lab struct {
+	opts machine.RunOptions
+
+	once  sync.Once
+	char  *core.Characterization
+	fleet []*machine.Machine
+	err   error
+}
+
+// NewLab returns a Lab measuring with the given run options (zero
+// value = machine defaults: 400k measured instructions per run).
+func NewLab(opts machine.RunOptions) *Lab {
+	return &Lab{opts: opts}
+}
+
+var (
+	defaultLab     *Lab
+	defaultLabOnce sync.Once
+)
+
+// DefaultLab returns the process-wide Lab at default fidelity.
+func DefaultLab() *Lab {
+	defaultLabOnce.Do(func() {
+		defaultLab = NewLab(machine.RunOptions{})
+	})
+	return defaultLab
+}
+
+// Entries returns every characterized workload entry: the primary
+// input of all CPU2017, CPU2006, and emerging profiles, plus each
+// individual input set of multi-input CPU2017 benchmarks (labelled
+// "name-i").
+func Entries() []core.Entry {
+	var entries []core.Entry
+	for _, p := range workloads.All() {
+		entries = append(entries, core.Entry{Label: p.Name, Workload: p.Workload()})
+		if p.InputSets > 1 {
+			for i := 1; i <= p.InputSets; i++ {
+				entries = append(entries, core.Entry{
+					Label:    p.InputLabel(i),
+					Workload: p.WorkloadInput(i),
+				})
+			}
+		}
+	}
+	return entries
+}
+
+// build runs the fleet characterization once.
+func (l *Lab) build() {
+	l.once.Do(func() {
+		fleet, err := machine.Fleet()
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.fleet = fleet
+		l.char, l.err = core.Characterize(Entries(), fleet, l.opts)
+	})
+}
+
+// Characterization returns the shared fleet characterization.
+func (l *Lab) Characterization() (*core.Characterization, error) {
+	l.build()
+	return l.char, l.err
+}
+
+// Fleet returns the seven Table IV machines.
+func (l *Lab) Fleet() ([]*machine.Machine, error) {
+	l.build()
+	return l.fleet, l.err
+}
+
+// suiteChar returns the characterization restricted to one CPU2017
+// sub-suite's primary inputs.
+func (l *Lab) suiteChar(s workloads.Suite) (*core.Characterization, error) {
+	c, err := l.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	var labels []string
+	for _, p := range workloads.BySuite(s) {
+		labels = append(labels, p.Name)
+	}
+	return c.Select(labels)
+}
+
+// selectChar returns the characterization restricted to the given
+// profiles' primary inputs.
+func (l *Lab) selectChar(profiles []workloads.Profile) (*core.Characterization, error) {
+	c, err := l.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, 0, len(profiles))
+	for _, p := range profiles {
+		labels = append(labels, p.Name)
+	}
+	return c.Select(labels)
+}
+
+// SuiteNames returns the primary-input labels of a sub-suite.
+func SuiteNames(s workloads.Suite) []string {
+	var out []string
+	for _, p := range workloads.BySuite(s) {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// categoryKey maps a CPU2017 sub-suite to its perfdb submission
+// category.
+func categoryKey(s workloads.Suite) (string, error) {
+	switch s {
+	case workloads.SpeedINT:
+		return "speed-int", nil
+	case workloads.RateINT:
+		return "rate-int", nil
+	case workloads.SpeedFP:
+		return "speed-fp", nil
+	case workloads.RateFP:
+		return "rate-fp", nil
+	default:
+		return "", fmt.Errorf("experiments: suite %v has no submission category", s)
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perfdb"
+	"repro/internal/workloads"
+)
+
+// DendrogramResult packages one of the paper's dendrogram figures
+// (Figures 2, 3, 4, and 13).
+type DendrogramResult struct {
+	Suite workloads.Suite
+	// Similarity holds the fitted PCA + clustering.
+	Similarity *core.Similarity `json:"-"`
+	// NumPCs and VarCovered report the Kaiser-selected dimensionality,
+	// quoted in the figure captions ("seven PCs that cover more than
+	// 91% of the variance").
+	NumPCs     int
+	VarCovered float64
+	// MostDistinct is the benchmark joining the tree last.
+	MostDistinct string
+	// Rendered is the ASCII dendrogram.
+	Rendered string
+}
+
+func dendrogramFor(lab *Lab, suite workloads.Suite) (*DendrogramResult, error) {
+	c, err := lab.suiteChar(suite)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := c.Similarity(core.DefaultSimilarityOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DendrogramResult{
+		Suite:        suite,
+		Similarity:   sim,
+		NumPCs:       sim.NumPCs,
+		VarCovered:   sim.PCA.CumVarExplained[sim.NumPCs-1],
+		MostDistinct: sim.MostDistinct(),
+		Rendered:     sim.Dendrogram.Render(60),
+	}, nil
+}
+
+// Fig2 reproduces Figure 2: the SPECspeed INT dendrogram.
+func Fig2(lab *Lab) (*DendrogramResult, error) { return dendrogramFor(lab, workloads.SpeedINT) }
+
+// Fig3 reproduces Figure 3: the SPECspeed FP dendrogram.
+func Fig3(lab *Lab) (*DendrogramResult, error) { return dendrogramFor(lab, workloads.SpeedFP) }
+
+// Fig4 reproduces Figure 4: the SPECrate FP dendrogram.
+func Fig4(lab *Lab) (*DendrogramResult, error) { return dendrogramFor(lab, workloads.RateFP) }
+
+// RateINTDendrogram is the SPECrate INT dendrogram the paper describes
+// but omits for space.
+func RateINTDendrogram(lab *Lab) (*DendrogramResult, error) {
+	return dendrogramFor(lab, workloads.RateINT)
+}
+
+// SubsetRow is one row of Table V: a sub-suite's 3-benchmark subset.
+type SubsetRow struct {
+	Suite workloads.Suite
+	// Subset holds the representative benchmarks.
+	Subset []string
+	// Clusters are the full cluster memberships at the cut.
+	Clusters [][]string
+	// CutHeight is where the vertical line falls in the dendrogram.
+	CutHeight float64
+	// SimTimeReduction is the suite-instructions / subset-instructions
+	// ratio ("reduces the total simulation time by 5.6x").
+	SimTimeReduction float64
+}
+
+// Table5 reproduces Table V: representative 3-benchmark subsets of the
+// four CPU2017 sub-suites, with their simulation-time reductions.
+func Table5(lab *Lab) ([]SubsetRow, error) {
+	var rows []SubsetRow
+	for _, suite := range []workloads.Suite{workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP} {
+		row, err := subsetForSuite(lab, suite, 3)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func subsetForSuite(lab *Lab, suite workloads.Suite, k int) (*SubsetRow, error) {
+	d, err := dendrogramFor(lab, suite)
+	if err != nil {
+		return nil, err
+	}
+	res := d.Similarity.Subset(k)
+	icounts := make(map[string]float64)
+	for _, p := range workloads.BySuite(suite) {
+		icounts[p.Name] = p.DynInstrBillions
+	}
+	red, err := core.SimulationTimeReduction(res.Representatives, SuiteNames(suite), icounts)
+	if err != nil {
+		return nil, err
+	}
+	return &SubsetRow{
+		Suite:            suite,
+		Subset:           res.Representatives,
+		Clusters:         res.Clusters,
+		CutHeight:        res.CutHeight,
+		SimTimeReduction: red,
+	}, nil
+}
+
+// ValidationRow is one sub-suite's subset-validation outcome —
+// Figures 5 and 6 (per-system errors) and a Table VI column.
+type ValidationRow struct {
+	Suite workloads.Suite
+	// Subset is the identified representative subset.
+	Subset []string
+	// Identified is the subset's error against the full-suite score on
+	// every synthetic commercial system.
+	Identified perfdb.Validation
+	// Rand1 and Rand2 are the same measurement for the two random
+	// subsets of Table VI.
+	Rand1, Rand2 perfdb.Validation
+	RandSet1     []string
+	RandSet2     []string
+}
+
+func validateSuite(lab *Lab, suite workloads.Suite) (*ValidationRow, error) {
+	c, err := lab.suiteChar(suite)
+	if err != nil {
+		return nil, err
+	}
+	row, err := subsetForSuite(lab, suite, 3)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := categoryKey(suite)
+	if err != nil {
+		return nil, err
+	}
+	db, err := c.BuildPerfDB(refMachineName, perfdb.SystemsFor(cat))
+	if err != nil {
+		return nil, err
+	}
+	all := SuiteNames(suite)
+	out := &ValidationRow{Suite: suite, Subset: row.Subset}
+	// The identified subset is scored with cluster-size weights: each
+	// representative stands for its whole cluster. Random subsets have
+	// no cluster structure and are scored with the plain geomean.
+	weights := make([]float64, len(row.Subset))
+	for i, rep := range row.Subset {
+		for _, cl := range row.Clusters {
+			for _, member := range cl {
+				if member == rep {
+					weights[i] = float64(len(cl))
+				}
+			}
+		}
+	}
+	out.Identified, err = db.ValidateWeighted(row.Subset, weights, all)
+	if err != nil {
+		return nil, err
+	}
+	out.RandSet1 = perfdb.RandomSubset(all, 3, 1)
+	out.RandSet2 = perfdb.RandomSubset(all, 3, 2)
+	out.Rand1, err = db.Validate(out.RandSet1, all)
+	if err != nil {
+		return nil, err
+	}
+	out.Rand2, err = db.Validate(out.RandSet2, all)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig5 reproduces Figure 5: validation of the SPECspeed INT and
+// SPECrate INT subsets against commercial-system scores.
+func Fig5(lab *Lab) ([]*ValidationRow, error) {
+	return validateSuites(lab, workloads.SpeedINT, workloads.RateINT)
+}
+
+// Fig6 reproduces Figure 6: validation of the FP subsets.
+func Fig6(lab *Lab) ([]*ValidationRow, error) {
+	return validateSuites(lab, workloads.SpeedFP, workloads.RateFP)
+}
+
+func validateSuites(lab *Lab, suites ...workloads.Suite) ([]*ValidationRow, error) {
+	var rows []*ValidationRow
+	for _, s := range suites {
+		r, err := validateSuite(lab, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Table6 reproduces Table VI: identified-subset accuracy versus two
+// random subsets across all four sub-suites.
+func Table6(lab *Lab) ([]*ValidationRow, error) {
+	return validateSuites(lab,
+		workloads.SpeedINT, workloads.RateINT, workloads.SpeedFP, workloads.RateFP)
+}
+
+// refMachineName is the reference machine for CPI stacks and perfdb
+// speedups (the paper characterizes on Skylake).
+const refMachineName = "skylake-i7-6700"
+
+// RenderTable6 formats Table VI.
+func RenderTable6(rows []*ValidationRow) string {
+	out := fmt.Sprintf("%-15s %12s %10s %10s\n", "suite", "identified", "rand-set1", "rand-set2")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-15s %11.1f%% %9.1f%% %9.1f%%\n",
+			r.Suite, r.Identified.Avg*100, r.Rand1.Avg*100, r.Rand2.Avg*100)
+	}
+	return out
+}

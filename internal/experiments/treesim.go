@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+// TreeSimilarityRow quantifies the paper's remark that the SPECrate
+// INT dendrogram (omitted from the paper for space) is "very similar"
+// to the SPECspeed INT one: the cophenetic correlation between the two
+// sub-suite dendrograms over their shared benchmark families.
+type TreeSimilarityRow struct {
+	// Pair names the compared sub-suites.
+	Pair string
+	// Families are the benchmark families present in both.
+	Families []string
+	// Correlation is the cophenetic correlation (1 = identical
+	// similarity structure).
+	Correlation float64
+}
+
+// RateSpeedTreeSimilarity compares the rate and speed dendrograms of
+// both the INT and FP categories.
+func RateSpeedTreeSimilarity(lab *Lab) ([]TreeSimilarityRow, error) {
+	pairs := []struct {
+		name        string
+		rate, speed workloads.Suite
+	}{
+		{"INT rate vs speed", workloads.RateINT, workloads.SpeedINT},
+		{"FP rate vs speed", workloads.RateFP, workloads.SpeedFP},
+	}
+	var rows []TreeSimilarityRow
+	for _, p := range pairs {
+		rateDen, err := dendrogramFor(lab, p.rate)
+		if err != nil {
+			return nil, err
+		}
+		speedDen, err := dendrogramFor(lab, p.speed)
+		if err != nil {
+			return nil, err
+		}
+		// Pair by family: indices of each family's member in each tree.
+		rateIdx := indexByBase(p.rate, rateDen.Similarity.Labels)
+		speedIdx := indexByBase(p.speed, speedDen.Similarity.Labels)
+		var families []string
+		var ia, ib []int
+		for base, ri := range rateIdx {
+			si, ok := speedIdx[base]
+			if !ok {
+				continue
+			}
+			families = append(families, base)
+			ia = append(ia, ri)
+			ib = append(ib, si)
+		}
+		sortByFamily(families, ia, ib)
+		corr, err := cluster.CopheneticCorrelation(
+			rateDen.Similarity.Dendrogram, speedDen.Similarity.Dendrogram, ia, ib)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TreeSimilarityRow{
+			Pair: p.name, Families: families, Correlation: corr,
+		})
+	}
+	return rows, nil
+}
+
+func indexByBase(suite workloads.Suite, labels []string) map[string]int {
+	byName := make(map[string]string)
+	for _, p := range workloads.BySuite(suite) {
+		byName[p.Name] = p.Base
+	}
+	out := make(map[string]int)
+	for i, l := range labels {
+		if base, ok := byName[l]; ok {
+			out[base] = i
+		}
+	}
+	return out
+}
+
+// sortByFamily orders the three parallel slices by family name, so the
+// result is deterministic regardless of map iteration order.
+func sortByFamily(families []string, ia, ib []int) {
+	for i := 1; i < len(families); i++ {
+		for j := i; j > 0 && families[j] < families[j-1]; j-- {
+			families[j], families[j-1] = families[j-1], families[j]
+			ia[j], ia[j-1] = ia[j-1], ia[j]
+			ib[j], ib[j-1] = ib[j-1], ib[j]
+		}
+	}
+}

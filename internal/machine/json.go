@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ParseConfigs reads a JSON array of machine configurations — the
+// format WriteConfigs emits — validates each one, and returns ready
+// Machines. This lets downstream users run the paper's methodology on
+// their own machine models:
+//
+//	[
+//	  {
+//	    "Name": "my-server", "ISA": "x86", "FreqGHz": 2.8, "IssueWidth": 4,
+//	    "Caches": {"L1I": {"SizeBytes": 32768, "Ways": 8, "LineBytes": 64}, ...},
+//	    "TLBs":   {"ITLB": {"Entries": 128, "Ways": 8}, ...},
+//	    "Predictor": {"Kind": "tournament", "TableBits": 14, "HistoryBits": 12},
+//	    "Penalties": {"MispredictPenalty": 16, ..., "MLP": 3}
+//	  }
+//	]
+func ParseConfigs(r io.Reader) ([]*Machine, error) {
+	var cfgs []Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfgs); err != nil {
+		return nil, fmt.Errorf("machine: parsing configs: %w", err)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("machine: no configurations in input")
+	}
+	seen := make(map[string]bool, len(cfgs))
+	machines := make([]*Machine, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		if seen[cfg.Name] {
+			return nil, fmt.Errorf("machine: duplicate name %q", cfg.Name)
+		}
+		seen[cfg.Name] = true
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, m)
+	}
+	return machines, nil
+}
+
+// WriteConfigs emits machine configurations as indented JSON in the
+// format ParseConfigs reads. Use it to dump the built-in Table IV
+// fleet as a starting point for custom configs:
+//
+//	fleet, _ := machine.Fleet()
+//	machine.WriteConfigs(os.Stdout, fleet)
+func WriteConfigs(w io.Writer, machines []*Machine) error {
+	cfgs := make([]Config, 0, len(machines))
+	for _, m := range machines {
+		cfgs = append(cfgs, m.Config())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfgs); err != nil {
+		return fmt.Errorf("machine: writing configs: %w", err)
+	}
+	return nil
+}

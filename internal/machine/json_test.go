@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	fleet, err := Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteConfigs(&buf, fleet); err != nil {
+		t.Fatal(err)
+	}
+	// Kinds must serialize as readable names.
+	if !strings.Contains(buf.String(), `"tournament"`) || !strings.Contains(buf.String(), `"bimodal"`) {
+		t.Fatalf("predictor kinds not serialized by name:\n%s", buf.String()[:400])
+	}
+	parsed, err := ParseConfigs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(fleet) {
+		t.Fatalf("round trip lost machines: %d vs %d", len(parsed), len(fleet))
+	}
+	for i := range fleet {
+		if parsed[i].Name() != fleet[i].Name() {
+			t.Fatalf("machine %d name %q != %q", i, parsed[i].Name(), fleet[i].Name())
+		}
+		if parsed[i].Config().Predictor != fleet[i].Config().Predictor {
+			t.Fatalf("machine %d predictor changed in round trip", i)
+		}
+		if parsed[i].Config().Penalties != fleet[i].Config().Penalties {
+			t.Fatalf("machine %d penalties changed in round trip", i)
+		}
+	}
+}
+
+func TestParsedMachineRunsIdentically(t *testing.T) {
+	fleet, _ := Fleet()
+	var buf bytes.Buffer
+	if err := WriteConfigs(&buf, fleet[:1]); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseConfigs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload()
+	opts := RunOptions{Instructions: 30_000, WarmupInstructions: 5_000}
+	a, err := fleet[0].Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parsed[0].Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatal("a parsed machine must behave identically to its source")
+	}
+}
+
+func TestParseConfigsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty array":   `[]`,
+		"bad JSON":      `{`,
+		"unknown field": `[{"Name":"x","Bogus":1}]`,
+		"bad kind":      `[{"Name":"x","ISA":"x86","FreqGHz":1,"IssueWidth":1,"Predictor":{"Kind":"magic","TableBits":10}}]`,
+		"invalid machine": `[{"Name":"x","ISA":"x86","FreqGHz":1,"IssueWidth":0,
+			"Predictor":{"Kind":"bimodal","TableBits":10}}]`,
+	}
+	for name, input := range cases {
+		if _, err := ParseConfigs(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Duplicate names.
+	var buf bytes.Buffer
+	fleet, _ := Fleet()
+	if err := WriteConfigs(&buf, []*Machine{fleet[0], fleet[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseConfigs(&buf); err == nil {
+		t.Error("duplicate names: expected error")
+	}
+}

@@ -1,0 +1,242 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/cpistack"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// MultiCounts is the result of a multi-copy (SPECrate-style) run:
+// n identical copies of one benchmark share the last-level cache and
+// memory while keeping private L1/L2 caches, TLBs, and predictors —
+// the paper measures single copies (Section IV-D) and this extension
+// models the contention the real SPECrate harness creates.
+type MultiCounts struct {
+	// Copies is the number of concurrent instances.
+	Copies int
+	// PerCopy holds each copy's raw counts.
+	PerCopy []*RawCounts
+	// Throughput is the aggregate instructions per cycle
+	// (sum over copies of 1/CPI_i).
+	Throughput float64
+}
+
+// ScalingEfficiency returns the throughput relative to perfect linear
+// scaling from the given single-copy throughput: 1 means no
+// interference, lower values mean shared-resource contention.
+func (mc *MultiCounts) ScalingEfficiency(singleThroughput float64) float64 {
+	if singleThroughput <= 0 || mc.Copies == 0 {
+		return 0
+	}
+	return mc.Throughput / (singleThroughput * float64(mc.Copies))
+}
+
+// copyStride separates the copies' data address spaces: each copy's
+// data lives in its own 64 GiB window, as separate rate processes do.
+// Code is shared (the OS maps one text segment for all copies).
+const copyStride uint64 = 1 << 36
+
+// RunMulti measures copies concurrent instances of the workload,
+// interleaved instruction by instruction, with a shared L3. With
+// copies == 1 it degenerates to Run up to trace-seed differences.
+func (m *Machine) RunMulti(w Workload, copies int, opts RunOptions) (*MultiCounts, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("machine: copies %d", copies)
+	}
+	if w.ILP <= 0 {
+		return nil, fmt.Errorf("machine: workload %q has non-positive ILP", w.Key)
+	}
+	opts = opts.withDefaults()
+	spec := m.adjustSpec(w)
+
+	// Shared L3 (when the machine has one); private L1/L2 per copy.
+	var sharedL3 *cache.Cache
+	if m.cfg.Caches.L3 != nil {
+		var err error
+		sharedL3, err = cache.New(*m.cfg.Caches.L3)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type copyState struct {
+		gen    *trace.Generator
+		caches *cache.Hierarchy
+		tlbs   *tlb.Hierarchy
+		pred   *branch.Predictor
+		rc     RawCounts
+		offset uint64
+
+		lastILine, lastIPage                 uint64
+		l1iToL2, l2iToL3, l2iToMem, l3iToMem uint64
+		l1dToL2, l2dToL3, l3dToMem, l2dToMem uint64
+	}
+	states := make([]*copyState, copies)
+	for i := range states {
+		gen, err := trace.NewGenerator(spec, fmt.Sprintf("%s#copy%d@%s", w.Key, i, m.cfg.Name))
+		if err != nil {
+			return nil, err
+		}
+		privCfg := m.cfg.Caches
+		privCfg.L3 = nil // the private hierarchy stops at L2
+		caches, err := cache.NewHierarchy(privCfg)
+		if err != nil {
+			return nil, err
+		}
+		caches.L3 = sharedL3 // re-attach the shared LLC
+		tlbs, err := tlb.NewHierarchy(m.cfg.TLBs)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := branch.New(m.cfg.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = &copyState{
+			gen: gen, caches: caches, tlbs: tlbs, pred: pred,
+			offset:    uint64(i) * copyStride,
+			lastILine: ^uint64(0), lastIPage: ^uint64(0),
+		}
+		primeOffset(caches, tlbs, spec, states[i].offset)
+	}
+
+	const lineShift = 6
+	step := func(st *copyState, measure bool) {
+		var ev trace.Event
+		st.gen.Next(&ev)
+		if measure {
+			st.rc.Instructions++
+			if ev.Kernel {
+				st.rc.KernelInstrs++
+			}
+		}
+		iline := ev.PC >> lineShift
+		if iline != st.lastILine {
+			st.lastILine = iline
+			lvl := st.caches.FetchInstr(ev.PC)
+			if measure {
+				switch lvl {
+				case 1:
+					st.l1iToL2++
+				case 2:
+					st.l1iToL2++
+					st.l2iToL3++
+				case 3:
+					st.l1iToL2++
+					if sharedL3 != nil {
+						st.l2iToL3++
+						st.l3iToMem++
+					} else {
+						st.l2iToMem++
+					}
+				}
+			}
+		}
+		if ipage := ev.PC >> tlb.PageShift; ipage != st.lastIPage {
+			st.lastIPage = ipage
+			st.tlbs.TranslateInstr(ev.PC)
+		}
+		switch ev.Kind {
+		case trace.Load, trace.Store:
+			if measure {
+				if ev.Kind == trace.Load {
+					st.rc.Loads++
+				} else {
+					st.rc.Stores++
+				}
+			}
+			lvl := st.caches.AccessData(ev.Addr + st.offset)
+			if measure {
+				switch lvl {
+				case 1:
+					st.l1dToL2++
+				case 2:
+					st.l1dToL2++
+					st.l2dToL3++
+				case 3:
+					st.l1dToL2++
+					if sharedL3 != nil {
+						st.l2dToL3++
+						st.l3dToMem++
+					} else {
+						st.l2dToMem++
+					}
+				}
+			}
+			st.tlbs.TranslateData(ev.Addr + st.offset)
+		case trace.CondBranch:
+			if measure {
+				st.rc.Branches++
+				if ev.Taken {
+					st.rc.TakenBranches++
+				}
+			}
+			st.pred.Predict(ev.PC, ev.Taken)
+		case trace.FPOp:
+			if measure {
+				st.rc.FPOps++
+			}
+		case trace.SIMDOp:
+			if measure {
+				st.rc.SIMDOps++
+			}
+		}
+	}
+
+	// Round-robin interleaving: warmup, then measurement.
+	for i := 0; i < opts.WarmupInstructions; i++ {
+		for _, st := range states {
+			step(st, false)
+		}
+	}
+	for _, st := range states {
+		st.caches.ResetStats()
+		st.tlbs.ResetStats()
+		st.pred.ResetStats()
+		if sharedL3 != nil {
+			sharedL3.ResetStats()
+		}
+	}
+	for i := 0; i < opts.Instructions; i++ {
+		for _, st := range states {
+			step(st, true)
+		}
+	}
+
+	out := &MultiCounts{Copies: copies}
+	ideal := 1 / float64(m.cfg.IssueWidth)
+	base := 1 / w.ILP
+	for _, st := range states {
+		st.rc.Cache = st.caches.Counts()
+		st.rc.TLB = st.tlbs.Counts()
+		st.rc.Mispredicts = st.pred.Counts().Mispredicts
+
+		stack, err := cpistack.Compute(cpistack.Inputs{
+			Instructions: st.rc.Instructions,
+			BaseCPI:      base,
+			IdealCPI:     ideal,
+			Mispredicts:  st.rc.Mispredicts,
+			L1IMissToL2:  st.l1iToL2,
+			L2IMissToL3:  st.l2iToL3,
+			L2IMissToMem: st.l2iToMem,
+			L3IMissToMem: st.l3iToMem,
+			L1DMissToL2:  st.l1dToL2,
+			L2DMissToL3:  st.l2dToL3,
+			L3DMissToMem: st.l3dToMem + st.l2dToMem,
+			PageWalks:    st.rc.TLB.PageWalks,
+		}, m.cfg.Penalties)
+		if err != nil {
+			return nil, err
+		}
+		st.rc.Stack = stack
+		st.rc.CPI = stack.Total()
+		st.rc.Cycles = uint64(st.rc.CPI * float64(st.rc.Instructions))
+		out.PerCopy = append(out.PerCopy, &st.rc)
+		out.Throughput += 1 / st.rc.CPI
+	}
+	return out, nil
+}

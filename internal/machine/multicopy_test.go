@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"testing"
+)
+
+func mcOpts() RunOptions {
+	return RunOptions{Instructions: 40_000, WarmupInstructions: 10_000}
+}
+
+func TestRunMultiSingleCopyMatchesShape(t *testing.T) {
+	m, err := New(SkylakeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload()
+	mc, err := m.RunMulti(w, 1, mcOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Copies != 1 || len(mc.PerCopy) != 1 {
+		t.Fatalf("single-copy result shape wrong: %+v", mc)
+	}
+	rc := mc.PerCopy[0]
+	if rc.Instructions != 40_000 {
+		t.Fatalf("instructions %d", rc.Instructions)
+	}
+	if mc.Throughput <= 0 || mc.Throughput != 1/rc.CPI {
+		t.Fatalf("throughput %v vs CPI %v", mc.Throughput, rc.CPI)
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	m, _ := New(SkylakeConfig())
+	w := testWorkload()
+	a, err := m.RunMulti(w, 3, mcOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.RunMulti(w, 3, mcOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerCopy {
+		if *a.PerCopy[i] != *b.PerCopy[i] {
+			t.Fatalf("copy %d differs between runs", i)
+		}
+	}
+}
+
+func TestRunMultiContentionHurtsMemoryBound(t *testing.T) {
+	m, _ := New(SkylakeConfig())
+
+	// Memory-bound: a 6 MiB warm working set per copy — one copy fits
+	// the 8 MiB LLC, four copies (24 MiB) thrash it.
+	memBound := testWorkload()
+	memBound.Key = "membound"
+	memBound.Spec.WarmBytes = 6 << 20
+	memBound.Spec.HotFrac, memBound.Spec.MidFrac = 0.45, 0.05
+	memBound.Spec.WarmFrac, memBound.Spec.StrideFrac = 0.45, 0
+
+	// Cache-resident: everything fits each copy's private caches.
+	resident := testWorkload()
+	resident.Key = "resident"
+	resident.Spec.HotFrac, resident.Spec.MidFrac = 0.9, 0.05
+	resident.Spec.WarmFrac, resident.Spec.StrideFrac = 0.05, 0
+	resident.Spec.WarmBytes = 256 << 10
+	resident.Spec.FootprintBytes = 1 << 20
+
+	eff := func(w Workload) float64 {
+		single, err := m.RunMulti(w, 1, mcOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		quad, err := m.RunMulti(w, 4, mcOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return quad.ScalingEfficiency(single.Throughput)
+	}
+	memEff, resEff := eff(memBound), eff(resident)
+	if resEff < 0.9 {
+		t.Errorf("cache-resident workload should scale near-linearly, efficiency %v", resEff)
+	}
+	if memEff > resEff-0.1 {
+		t.Errorf("LLC-thrashing workload (eff %v) should scale clearly worse than resident (%v)",
+			memEff, resEff)
+	}
+	// Per-copy LLC misses must rise under contention.
+	single, _ := m.RunMulti(memBound, 1, mcOpts())
+	quad, _ := m.RunMulti(memBound, 4, mcOpts())
+	if quad.PerCopy[0].Cache.L3Misses <= single.PerCopy[0].Cache.L3Misses {
+		t.Errorf("shared-LLC contention should raise per-copy L3 misses: %d vs %d",
+			quad.PerCopy[0].Cache.L3Misses, single.PerCopy[0].Cache.L3Misses)
+	}
+}
+
+func TestRunMultiNoL3Machine(t *testing.T) {
+	m, _ := New(HarpertownConfig())
+	mc, err := m.RunMulti(testWorkload(), 2, mcOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range mc.PerCopy {
+		if rc.Cache.L3Accesses != 0 {
+			t.Fatal("machine without L3 recorded L3 accesses in multi-copy mode")
+		}
+	}
+}
+
+func TestRunMultiErrors(t *testing.T) {
+	m, _ := New(SkylakeConfig())
+	if _, err := m.RunMulti(testWorkload(), 0, mcOpts()); err == nil {
+		t.Fatal("copies=0 must error")
+	}
+	w := testWorkload()
+	w.ILP = 0
+	if _, err := m.RunMulti(w, 2, mcOpts()); err == nil {
+		t.Fatal("ILP=0 must error")
+	}
+}
+
+func TestScalingEfficiencyEdgeCases(t *testing.T) {
+	mc := &MultiCounts{Copies: 2, Throughput: 4}
+	if e := mc.ScalingEfficiency(2); e != 1 {
+		t.Fatalf("efficiency = %v, want 1", e)
+	}
+	if e := mc.ScalingEfficiency(0); e != 0 {
+		t.Fatalf("efficiency with zero baseline = %v, want 0", e)
+	}
+}

@@ -1,0 +1,102 @@
+package perfdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpistack"
+	"repro/internal/rng"
+)
+
+func TestWeightedScoreEqualWeightsMatchesGeomean(t *testing.T) {
+	db, _ := Build(testStacks(), testSystems())
+	all := []string{"compute", "memory", "branchy"}
+	plain, err := db.Score("mem-monster", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := db.WeightedScore("mem-monster", all, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain-weighted) > 1e-12 {
+		t.Fatalf("equal weights must equal the plain geomean: %v vs %v", plain, weighted)
+	}
+}
+
+func TestWeightedScoreErrors(t *testing.T) {
+	db, _ := Build(testStacks(), testSystems())
+	if _, err := db.WeightedScore("mem-monster", nil, nil); err == nil {
+		t.Fatal("empty benchmarks must error")
+	}
+	if _, err := db.WeightedScore("mem-monster", []string{"compute"}, []float64{1, 2}); err == nil {
+		t.Fatal("weight/benchmark mismatch must error")
+	}
+	if _, err := db.WeightedScore("mem-monster", []string{"compute"}, []float64{0}); err == nil {
+		t.Fatal("non-positive weight must error")
+	}
+	if _, err := db.WeightedScore("mem-monster", []string{"nope"}, []float64{1}); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+// Property: a weighted score always lies between the min and max
+// per-benchmark speedups.
+func TestWeightedScoreBoundsProperty(t *testing.T) {
+	db, _ := Build(testStacks(), testSystems())
+	all := []string{"compute", "memory", "branchy"}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		weights := []float64{
+			0.1 + r.Float64()*10, 0.1 + r.Float64()*10, 0.1 + r.Float64()*10,
+		}
+		score, err := db.WeightedScore("mem-monster", all, weights)
+		if err != nil {
+			return false
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, b := range all {
+			v, _ := db.Speedup("mem-monster", b)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		return score >= min-1e-9 && score <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateWeightedReducesOutlierBias(t *testing.T) {
+	// Five near-identical compute benchmarks plus one memory outlier:
+	// a 2-benchmark subset {compute rep, outlier} scored with cluster
+	// sizes {5, 1} must estimate the full-suite score better than the
+	// plain geomean, which over-weights the outlier.
+	stacks := map[string]cpistack.Stack{
+		"c1":  {Base: 0.30, Deps: 0.10},
+		"c2":  {Base: 0.31, Deps: 0.10},
+		"c3":  {Base: 0.30, Deps: 0.11},
+		"c4":  {Base: 0.29, Deps: 0.10},
+		"c5":  {Base: 0.30, Deps: 0.09},
+		"mem": {Base: 0.30, L3: 0.30, Memory: 0.90},
+	}
+	db, err := Build(stacks, testSystems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []string{"c1", "c2", "c3", "c4", "c5", "mem"}
+	subset := []string{"c3", "mem"}
+	plain, err := db.Validate(subset, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := db.ValidateWeighted(subset, []float64{5, 1}, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Avg >= plain.Avg {
+		t.Fatalf("cluster-size weighting (%v) should beat plain geomean (%v)",
+			weighted.Avg, plain.Avg)
+	}
+}

@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cpistack"
+)
+
+// StackedBar is one bar of a stacked bar chart (one benchmark's CPI
+// stack in Figure 1).
+type StackedBar struct {
+	Label string
+	Stack cpistack.Stack
+}
+
+// BarsOptions configure the stacked bar chart.
+type BarsOptions struct {
+	Title         string
+	Width, Height int
+}
+
+// CPIBars renders Figure 1: one stacked vertical bar per benchmark,
+// with the top-down CPI components coloured consistently and a legend.
+func CPIBars(w io.Writer, bars []StackedBar, opts BarsOptions) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("plot: no bars")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 960
+	}
+	if opts.Height <= 0 {
+		opts.Height = 420
+	}
+	maxCPI := 0.0
+	for _, b := range bars {
+		if t := b.Stack.Total(); t > maxCPI {
+			maxCPI = t
+		}
+	}
+	if maxCPI == 0 {
+		return fmt.Errorf("plot: all-zero CPI stacks")
+	}
+
+	svg := newSVG(opts.Width, opts.Height)
+	svg.text(float64(opts.Width)/2, 18, 14, "middle", "#000", opts.Title)
+	left, top := 48.0, 36.0
+	bottom := float64(opts.Height) - 110 // room for rotated-ish labels
+	right := float64(opts.Width) - 150   // room for the legend
+
+	// Y axis with CPI ticks.
+	svg.line(left, top, left, bottom, "#333", 1)
+	for i := 0; i <= 4; i++ {
+		v := maxCPI * float64(i) / 4
+		y := bottom - (bottom-top)*float64(i)/4
+		svg.line(left-4, y, left, y, "#333", 1)
+		svg.text(left-6, y+3, 10, "end", "#333", trimFloat(v))
+	}
+	svg.text(left, top-8, 12, "start", "#000", "CPI")
+
+	components := bars[0].Stack.Components()
+	slot := (right - left) / float64(len(bars))
+	barW := slot * 0.6
+	for i, b := range bars {
+		x := left + slot*float64(i) + slot*0.2
+		y := bottom
+		for ci, comp := range b.Stack.Components() {
+			h := comp.Value / maxCPI * (bottom - top)
+			if h <= 0 {
+				continue
+			}
+			y -= h
+			svg.rect(x, y, barW, h, Color(ci))
+		}
+		// Label under the bar; staggered to avoid overlap.
+		ly := bottom + 14 + float64(i%3)*11
+		svg.text(x+barW/2, ly, 8, "middle", "#333", b.Label)
+	}
+
+	// Legend.
+	for ci, comp := range components {
+		y := top + float64(ci)*16
+		svg.rect(right+12, y-8, 10, 10, Color(ci))
+		svg.text(right+26, y, 10, "start", "#000", comp.Label)
+	}
+	return svg.writeTo(w)
+}

@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+)
+
+// DendrogramOptions configure a dendrogram rendering.
+type DendrogramOptions struct {
+	Title string
+	// Width in pixels (height grows with the leaf count).
+	Width int
+	// RowHeight in pixels per leaf (default 18).
+	RowHeight int
+}
+
+// Dendrogram renders a clustering tree as an SVG: leaves on the left,
+// merges drawn at x positions proportional to their linkage height —
+// the layout of the paper's Figures 2-4, 7, 8, and 13.
+func Dendrogram(w io.Writer, d *cluster.Dendrogram, opts DendrogramOptions) error {
+	if d == nil || d.Root == nil {
+		return fmt.Errorf("plot: empty dendrogram")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 720
+	}
+	if opts.RowHeight <= 0 {
+		opts.RowHeight = 18
+	}
+	leaves := d.Root.Leaves()
+	n := len(leaves)
+	labelW := 0
+	for _, item := range leaves {
+		if l := len(d.Labels[item]); l > labelW {
+			labelW = l
+		}
+	}
+	left := float64(labelW)*6.5 + 16
+	top, rowH := 40.0, float64(opts.RowHeight)
+	height := int(top) + n*opts.RowHeight + 40
+	right := float64(opts.Width) - 16
+
+	svg := newSVG(opts.Width, height)
+	svg.text(float64(opts.Width)/2, 18, 14, "middle", "#000", opts.Title)
+
+	maxH := d.Root.Height
+	if maxH == 0 {
+		maxH = 1
+	}
+	xAt := func(h float64) float64 { return left + h/maxH*(right-left) }
+
+	// Leaf rows.
+	rowOf := make(map[int]float64, n)
+	for i, item := range leaves {
+		y := top + float64(i)*rowH + rowH/2
+		rowOf[item] = y
+		svg.text(left-6, y+3, 10, "end", "#000", d.Labels[item])
+	}
+
+	// Recursive drawing: each node returns the y of its branch and the
+	// x where its horizontal line currently ends.
+	var draw func(nd *cluster.Node) (y, x float64)
+	draw = func(nd *cluster.Node) (float64, float64) {
+		if nd.IsLeaf() {
+			return rowOf[nd.Item], left
+		}
+		y1, x1 := draw(nd.Left)
+		y2, x2 := draw(nd.Right)
+		mx := xAt(nd.Height)
+		svg.line(x1, y1, mx, y1, "#1f77b4", 1.2)
+		svg.line(x2, y2, mx, y2, "#1f77b4", 1.2)
+		svg.line(mx, y1, mx, y2, "#1f77b4", 1.2)
+		return (y1 + y2) / 2, mx
+	}
+	y, x := draw(d.Root)
+	svg.line(x, y, right, y, "#1f77b4", 1.2)
+
+	// Height axis along the bottom.
+	axisY := top + float64(n)*rowH + 12
+	svg.line(left, axisY, right, axisY, "#333", 1)
+	for i := 0; i <= 4; i++ {
+		h := maxH * float64(i) / 4
+		px := xAt(h)
+		svg.line(px, axisY, px, axisY+4, "#333", 1)
+		svg.text(px, axisY+15, 9, "middle", "#333", trimFloat(h))
+	}
+	svg.text((left+right)/2, axisY+28, 11, "middle", "#000", "linkage distance")
+	return svg.writeTo(w)
+}

@@ -1,0 +1,182 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cpistack"
+	"repro/internal/stats"
+)
+
+// wellFormed parses the produced SVG as XML.
+func wellFormed(t *testing.T, b []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, b[:min(len(b), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestScatterSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := Scatter(&buf, []Series{
+		{
+			Name:   "CPU2017",
+			Points: []stats.Point{{X: 1, Y: 2}, {X: 3, Y: -1}, {X: -2, Y: 0.5}},
+			Labels: []string{"a", "b", "c"},
+			Hull:   true,
+		},
+		{
+			Name:   "CPU2006",
+			Points: []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 1}},
+		},
+	}, ScatterOptions{Title: "PC1 vs PC2 <test>", XLabel: "PC1", YLabel: "PC2", PointLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wellFormed(t, out)
+	s := string(out)
+	for _, want := range []string{"CPU2017", "CPU2006", "polygon", "circle", "PC1", "&lt;test&gt;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scatter SVG missing %q", want)
+		}
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, nil, ScatterOptions{}); err == nil {
+		t.Fatal("no series must error")
+	}
+	err := Scatter(&buf, []Series{{
+		Name: "x", Points: []stats.Point{{X: 1, Y: 1}}, Labels: []string{"a", "b"},
+	}}, ScatterOptions{})
+	if err == nil {
+		t.Fatal("label/point mismatch must error")
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	// A single point and identical coordinates must not divide by zero.
+	var buf bytes.Buffer
+	err := Scatter(&buf, []Series{{
+		Name: "solo", Points: []stats.Point{{X: 5, Y: 5}},
+	}}, ScatterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestDendrogramSVG(t *testing.T) {
+	pts := [][]float64{{0}, {0.1}, {5}, {5.2}, {20}}
+	labels := []string{"a0", "a1", "b0", "b1", "<outlier>"}
+	d, err := cluster.Cluster(pts, labels, cluster.Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Dendrogram(&buf, d, DendrogramOptions{Title: "test dendrogram"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wellFormed(t, out)
+	s := string(out)
+	for _, want := range []string{"a0", "b1", "&lt;outlier&gt;", "linkage distance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dendrogram SVG missing %q", want)
+		}
+	}
+}
+
+func TestDendrogramErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dendrogram(&buf, nil, DendrogramOptions{}); err == nil {
+		t.Fatal("nil dendrogram must error")
+	}
+}
+
+func TestDendrogramSingleLeaf(t *testing.T) {
+	d, _ := cluster.Cluster([][]float64{{1}}, []string{"only"}, cluster.Ward)
+	var buf bytes.Buffer
+	if err := Dendrogram(&buf, d, DendrogramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if !strings.Contains(buf.String(), "only") {
+		t.Fatal("single-leaf dendrogram missing its label")
+	}
+}
+
+func TestCPIBarsSVG(t *testing.T) {
+	bars := []StackedBar{
+		{Label: "mcf", Stack: cpistack.Stack{Base: 0.25, Memory: 1.0, L3: 0.3}},
+		{Label: "x264", Stack: cpistack.Stack{Base: 0.25, Deps: 0.1}},
+	}
+	var buf bytes.Buffer
+	if err := CPIBars(&buf, bars, BarsOptions{Title: "Figure 1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wellFormed(t, out)
+	s := string(out)
+	for _, want := range []string{"mcf", "x264", "memory", "base", "CPI"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bars SVG missing %q", want)
+		}
+	}
+}
+
+func TestCPIBarsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CPIBars(&buf, nil, BarsOptions{}); err == nil {
+		t.Fatal("no bars must error")
+	}
+	if err := CPIBars(&buf, []StackedBar{{Label: "z"}}, BarsOptions{}); err == nil {
+		t.Fatal("zero stacks must error")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	pts := []stats.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	var a, b bytes.Buffer
+	opts := ScatterOptions{Title: "t"}
+	if err := Scatter(&a, []Series{{Name: "s", Points: pts}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scatter(&b, []Series{{Name: "s", Points: pts}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("SVG output must be deterministic")
+	}
+}
+
+func TestColorCycle(t *testing.T) {
+	if Color(0) == Color(1) {
+		t.Fatal("adjacent colours must differ")
+	}
+	if Color(0) != Color(len(palette)) {
+		t.Fatal("palette must cycle")
+	}
+	if Color(-1) != Color(len(palette)-1) {
+		t.Fatal("negative indices must wrap")
+	}
+}

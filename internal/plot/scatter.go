@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Series is one labelled point set in a scatter plot.
+type Series struct {
+	Name   string
+	Points []stats.Point
+	// Labels, when non-nil, annotates each point (len == len(Points)).
+	Labels []string
+	// Hull draws the series' convex hull as a shaded region, as in the
+	// paper's Figure 11 coverage comparison.
+	Hull bool
+}
+
+// ScatterOptions configure a scatter plot.
+type ScatterOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height in pixels (defaults 640x480).
+	Width, Height int
+	// PointLabels draws each point's label next to it.
+	PointLabels bool
+}
+
+// Scatter renders one or more point series into an SVG document.
+func Scatter(w io.Writer, series []Series, opts ScatterOptions) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 640
+	}
+	if opts.Height <= 0 {
+		opts.Height = 480
+	}
+	for _, s := range series {
+		if s.Labels != nil && len(s.Labels) != len(s.Points) {
+			return fmt.Errorf("plot: series %q has %d labels for %d points", s.Name, len(s.Labels), len(s.Points))
+		}
+	}
+
+	minX, maxX, minY, maxY := bounds(series)
+	svg := newSVG(opts.Width, opts.Height)
+	svg.text(float64(opts.Width)/2, 18, 14, "middle", "#000", opts.Title)
+	left, top := 56.0, 36.0
+	right, bottom := float64(opts.Width)-16, float64(opts.Height)-44
+	project := svg.axes(left, top, right, bottom, minX, maxX, minY, maxY, opts.XLabel, opts.YLabel)
+
+	for i, s := range series {
+		color := Color(i)
+		if s.Hull && len(s.Points) >= 3 {
+			hull := stats.ConvexHull(s.Points)
+			var poly []point
+			for _, p := range hull {
+				x, y := project(p.X, p.Y)
+				poly = append(poly, point{x, y})
+			}
+			svg.polygon(poly, color, color, 0.08)
+		}
+		for j, p := range s.Points {
+			x, y := project(p.X, p.Y)
+			svg.circle(x, y, 3, color)
+			if opts.PointLabels && s.Labels != nil {
+				svg.text(x+4, y-3, 8, "start", "#555", s.Labels[j])
+			}
+		}
+		// Legend entry.
+		ly := top + float64(i)*14
+		svg.circle(right-120, ly, 4, color)
+		svg.text(right-112, ly+3, 10, "start", "#000", s.Name)
+	}
+	return svg.writeTo(w)
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	// Pad 5% so points don't sit on the frame.
+	dx, dy := (maxX-minX)*0.05, (maxY-minY)*0.05
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	return minX - dx, maxX + dx, minY - dy, maxY + dy
+}

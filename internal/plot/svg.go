@@ -1,0 +1,118 @@
+// Package plot renders the paper's figures as standalone SVG
+// documents using only the standard library: scatter plots in PC space
+// (Figures 9-12), dendrograms (Figures 2-4, 7, 8, 13), and stacked CPI
+// bars (Figure 1). The SVGs are deterministic byte-for-byte for a
+// given input.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette is a colour cycle chosen for adjacent-series contrast.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+// Color returns the i-th palette colour (cycling).
+func Color(i int) string { return palette[((i%len(palette))+len(palette))%len(palette)] }
+
+// svgBuilder accumulates SVG elements with a fixed header/footer.
+type svgBuilder struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) circle(cx, cy, r float64, fill string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", cx, cy, r, fill)
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (s *svgBuilder) polygon(pts []point, stroke, fill string, opacity float64) {
+	var coords []string
+	for _, p := range pts {
+		coords = append(coords, fmt.Sprintf("%.2f,%.2f", p.x, p.y))
+	}
+	fmt.Fprintf(&s.b, `<polygon points="%s" stroke="%s" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		strings.Join(coords, " "), stroke, fill, opacity)
+}
+
+// text writes an escaped label. anchor is "start", "middle", or "end".
+func (s *svgBuilder) text(x, y float64, size int, anchor, fill, label string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" font-family="sans-serif" text-anchor="%s" fill="%s">%s</text>`+"\n",
+		x, y, size, anchor, fill, escape(label))
+}
+
+func (s *svgBuilder) writeTo(w io.Writer) error {
+	s.b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, s.b.String())
+	return err
+}
+
+func escape(in string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(in)
+}
+
+type point struct{ x, y float64 }
+
+// axes draws a rectangular plot frame with tick labels and returns a
+// mapping from data space to pixel space.
+func (s *svgBuilder) axes(left, top, right, bottom float64,
+	minX, maxX, minY, maxY float64, xLabel, yLabel string) func(x, y float64) (float64, float64) {
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Frame.
+	s.line(left, top, left, bottom, "#333", 1)
+	s.line(left, bottom, right, bottom, "#333", 1)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		px := left + (right-left)*float64(i)/4
+		s.line(px, bottom, px, bottom+4, "#333", 1)
+		s.text(px, bottom+16, 10, "middle", "#333", trimFloat(fx))
+
+		fy := minY + (maxY-minY)*float64(i)/4
+		py := bottom - (bottom-top)*float64(i)/4
+		s.line(left-4, py, left, py, "#333", 1)
+		s.text(left-6, py+3, 10, "end", "#333", trimFloat(fy))
+	}
+	s.text((left+right)/2, bottom+32, 12, "middle", "#000", xLabel)
+	// Vertical axis label drawn horizontally above the axis to avoid
+	// transforms.
+	s.text(left, top-8, 12, "start", "#000", yLabel)
+	return func(x, y float64) (float64, float64) {
+		return left + (x-minX)/(maxX-minX)*(right-left),
+			bottom - (y-minY)/(maxY-minY)*(bottom-top)
+	}
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}

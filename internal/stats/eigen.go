@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi rotation method. The returned
+// eigenvalues are sorted in descending order and vectors[i] is the
+// (unit-length) eigenvector for values[i]. Each eigenvector's sign is
+// normalized so that its largest-magnitude component is positive,
+// making results deterministic across runs.
+//
+// Jacobi is O(n^3) per sweep but unconditionally stable, exact enough
+// for correlation matrices of a few hundred metrics, and requires no
+// external dependencies — the right trade-off for this library.
+func EigenSym(a *Matrix) (values []float64, vectors [][]float64, err error) {
+	n := a.rows
+	if n != a.cols {
+		return nil, nil, fmt.Errorf("stats: EigenSym requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if n == 0 {
+		return nil, nil, ErrEmptyMatrix
+	}
+	const symTol = 1e-8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("stats: EigenSym requires a symmetric matrix (a[%d][%d]=%g, a[%d][%d]=%g)",
+					i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+
+	// Work on a copy; build up the accumulated rotation matrix V.
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const (
+		maxSweeps = 100
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < eps/float64(n*n) {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation J(p,q,theta): W = Jᵀ W J.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values = make([]float64, n)
+	vectors = make([][]float64, n)
+	for r, p := range pairs {
+		values[r] = p.val
+		vec := v.Col(p.idx)
+		normalizeSign(vec)
+		vectors[r] = vec
+	}
+	return values, vectors, nil
+}
+
+// normalizeSign flips vec in place so its largest-magnitude component
+// is positive. Eigenvectors are defined only up to sign; fixing the
+// sign makes downstream output (PC scores, scatter plots) stable.
+func normalizeSign(vec []float64) {
+	maxAbs, maxIdx := 0.0, 0
+	for i, x := range vec {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs, maxIdx = a, i
+		}
+	}
+	if vec[maxIdx] < 0 {
+		for i := range vec {
+			vec[i] = -vec[i]
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if math.Abs(vals[i]-v) > 1e-10 {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, vals[i], v)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are the standard basis vectors.
+	wantVecs := [][]float64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}
+	for i, wv := range wantVecs {
+		for j := range wv {
+			if math.Abs(vecs[i][j]-wv[j]) > 1e-8 {
+				t.Fatalf("eigenvector %d = %v, want %v", i, vecs[i], wv)
+			}
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	a, _ := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+	s := 1 / math.Sqrt(2)
+	if math.Abs(vecs[0][0]-s) > 1e-8 || math.Abs(vecs[0][1]-s) > 1e-8 {
+		t.Fatalf("first eigenvector %v, want [%v %v]", vecs[0], s, s)
+	}
+}
+
+func TestEigenSymRejectsNonSquare(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 1}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(0, 0)); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: A·v = λ·v for every eigenpair of a random symmetric matrix.
+func TestEigenSymResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSymmetric(rng, n)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * vecs[k][j]
+				}
+				if math.Abs(av-vals[k]*vecs[k][i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalue sum equals trace, eigenvectors are orthonormal,
+// and values are sorted descending.
+func TestEigenSymInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSymmetric(rng, n)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-trace) > 1e-8*(1+math.Abs(trace)) {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dot := 0.0
+				for k := 0; k < n; k++ {
+					dot += vecs[i][k] * vecs[j][k]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymSignConvention(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	_, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range vecs {
+		maxAbs, maxIdx := 0.0, 0
+		for i, x := range v {
+			if math.Abs(x) > maxAbs {
+				maxAbs, maxIdx = math.Abs(x), i
+			}
+		}
+		if v[maxIdx] < 0 {
+			t.Fatalf("eigenvector %d violates sign convention: %v", k, v)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4: %v", len(hull), hull)
+	}
+	if a := PolygonArea(hull); math.Abs(a-1) > 1e-12 {
+		t.Fatalf("hull area %v, want 1", a)
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	hull := ConvexHull(pts)
+	if PolygonArea(hull) != 0 {
+		t.Fatalf("collinear points must have zero hull area")
+	}
+}
+
+func TestConvexHullDuplicates(t *testing.T) {
+	pts := []Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}}
+	hull := ConvexHull(pts)
+	if len(hull) != 3 {
+		t.Fatalf("hull has %d vertices, want 3", len(hull))
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Fatal("empty input should give empty hull")
+	}
+	if h := ConvexHull([]Point{{1, 2}}); len(h) != 1 {
+		t.Fatal("single point hull")
+	}
+	if h := ConvexHull([]Point{{1, 2}, {3, 4}}); len(h) != 2 {
+		t.Fatal("two point hull")
+	}
+}
+
+func TestPolygonAreaTriangle(t *testing.T) {
+	tri := []Point{{0, 0}, {4, 0}, {0, 3}}
+	if a := PolygonArea(tri); math.Abs(a-6) > 1e-12 {
+		t.Fatalf("triangle area %v, want 6", a)
+	}
+	// Orientation must not matter.
+	rev := []Point{{0, 3}, {4, 0}, {0, 0}}
+	if a := PolygonArea(rev); math.Abs(a-6) > 1e-12 {
+		t.Fatalf("reversed triangle area %v, want 6", a)
+	}
+}
+
+func TestPointInPolygon(t *testing.T) {
+	sq := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{3, 1}, false},
+		{Point{-0.1, 1}, false},
+		{Point{0, 0}, true}, // vertex
+		{Point{1, 0}, true}, // edge
+		{Point{2, 2}, true}, // vertex
+		{Point{1, 2.1}, false},
+	}
+	for _, c := range cases {
+		if got := PointInPolygon(c.p, sq); got != c.want {
+			t.Errorf("PointInPolygon(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFractionOutside(t *testing.T) {
+	ref := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	pts := []Point{{0.5, 0.5}, {2, 2}, {0.1, 0.1}, {-1, 0}}
+	got := FractionOutside(pts, ref)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FractionOutside = %v, want 0.5", got)
+	}
+	if FractionOutside(nil, ref) != 0 {
+		t.Fatal("empty points should report 0")
+	}
+}
+
+// Property: every input point lies inside or on the convex hull, and
+// hull area never exceeds the bounding-box area.
+func TestConvexHullContainsAllProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+			minX = math.Min(minX, pts[i].X)
+			maxX = math.Max(maxX, pts[i].X)
+			minY = math.Min(minY, pts[i].Y)
+			maxY = math.Max(maxY, pts[i].Y)
+		}
+		hull := ConvexHull(pts)
+		for _, p := range pts {
+			if !PointInPolygon(p, hull) {
+				return false
+			}
+		}
+		return PolygonArea(hull) <= (maxX-minX)*(maxY-minY)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Euclidean = %v, want 5", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("GeoMean(5) = %v, want 5", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Fatal("GeoMean with non-positive input should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}

@@ -1,0 +1,289 @@
+package workloads
+
+// cpu2017Profiles encodes all 43 SPEC CPU2017 benchmarks. Instruction
+// mixes and dynamic instruction counts are transcribed from the
+// paper's Table I; cache/branch/TLB targets follow Table II's ranges
+// and the per-benchmark statements in Sections II, IV, and V:
+//
+//   - mcf: highest CPI among INT, worst data locality, high branch
+//     mispredictions and taken fraction, noticeable I-cache misses.
+//   - omnetpp/xalancbmk: C++ codes, back-end (cache/memory) bound,
+//     high taken-branch fraction; xalancbmk has 33% branches.
+//   - leela: highest branch MPKI (uniformly hard branches), low
+//     machine sensitivity.
+//   - x264: SIMD-heavy, very low CPI, few branches.
+//   - exchange2: store-rich, cache-resident, core-power intensive.
+//   - xz: large dictionary footprint, D-TLB heavy, hard branches.
+//   - gcc/perlbench: largest code footprints, highest I-cache activity.
+//   - cactuBSSN: most distinct FP benchmark — ~44% loads, unique
+//     memory/TLB behaviour.
+//   - fotonik3d: highest L1D MPKI and strongest L1D-size sensitivity.
+//   - bwaves: branchy for an FP code, loop-patterned (predictor
+//     sensitive), large speed-version footprint.
+//   - lbm/roms: streaming grid codes.
+//   - wrf/cam4/pop2: very large Fortran codes (FP I-cache maxima).
+//   - imagick/blender: dependency-stall bound; imagick_s diverges
+//     sharply from imagick_r (>=30% more misses at all levels).
+var cpu2017Profiles = []Profile{
+	// ---------------------------------------------------- SPECspeed INT
+	define("600.perlbench_s", "perlbench", SpeedINT, DomCompiler, "C", false, 2696, 3, params{
+		load: .2720, store: .1673, branch: .1816,
+		l1d: 12, l2d: 1.5, l3: 0.3, l1i: 4.8, codeKB: 2048,
+		brMPKI: 2.5, taken: .62, footprint: 128 << 20, ilp: 3.3,
+	}),
+	define("602.gcc_s", "gcc", SpeedINT, DomCompiler, "C", false, 7226, 3, params{
+		load: .4032, store: .1567, branch: .1560,
+		l1d: 16, l2d: 2.2, l3: 0.6, l1i: 5.2, codeKB: 4096,
+		brMPKI: 3, taken: .78, footprint: 192 << 20, ilp: 2.8,
+	}),
+	define("605.mcf_s", "mcf", SpeedINT, DomCombOpt, "C", false, 1775, 1, params{
+		load: .1855, store: .0470, branch: .1253,
+		l1d: 54, l2d: 20.7, l3: 4.6, l1i: 3.2, codeKB: 256,
+		brMPKI: 8.2, taken: .80, footprint: 3 << 30, ilp: 2.6,
+	}),
+	define("620.omnetpp_s", "omnetpp", SpeedINT, DomDESim, "C++", false, 1102, 1, params{
+		load: .2276, store: .1265, branch: .1455,
+		l1d: 20, l2d: 5, l3: 2.2, l1i: 2, codeKB: 1024,
+		brMPKI: 4, taken: .68, footprint: 192 << 20, ilp: 2.0,
+	}),
+	define("623.xalancbmk_s", "xalancbmk", SpeedINT, DomDocProc, "C++", false, 1320, 1, params{
+		load: .3408, store: .0790, branch: .3318,
+		l1d: 16, l2d: 4, l3: 1.4, l1i: 1.5, codeKB: 1024,
+		brMPKI: 3, taken: .74, footprint: 128 << 20, ilp: 2.7,
+	}),
+	define("625.x264_s", "x264", SpeedINT, DomVideo, "C", true, 12546, 3, params{
+		load: .3721, store: .1027, branch: .0459,
+		fp: .05, simd: .12,
+		l1d: 10, l2d: 1.2, l3: 0.25, l1i: 0.6, codeKB: 512,
+		brMPKI: 1, taken: .60, patterned: true,
+		stride: .02, footprint: 64 << 20, ilp: 4.3,
+	}),
+	define("631.deepsjeng_s", "deepsjeng", SpeedINT, DomAI, "C++", true, 2250, 1, params{
+		load: .1975, store: .0937, branch: .1175,
+		l1d: 6, l2d: 1.5, l3: 0.4, l1i: 1.2, codeKB: 512,
+		brMPKI: 4.5, taken: .55, footprint: 96 << 20, ilp: 3.0,
+	}),
+	define("641.leela_s", "leela", SpeedINT, DomAI, "C++", true, 2245, 1, params{
+		load: .1425, store: .0532, branch: .0894,
+		l1d: 4, l2d: 0.8, l3: 0.15, l1i: 0.8, codeKB: 384,
+		brMPKI: 8.3, taken: .55, footprint: 64 << 20, ilp: 2.3,
+	}),
+	define("648.exchange2_s", "exchange2", SpeedINT, DomAI, "Fortran", true, 6643, 1, params{
+		load: .2961, store: .2022, branch: .0867,
+		l1d: 1, l2d: 0.1, l3: 0.02, l1i: 0.3, codeKB: 256,
+		midBytes: 48 << 10,
+		brMPKI:   1.5, taken: .60, patterned: true,
+		footprint: 64 << 20, ilp: 2.9,
+	}),
+	define("657.xz_s", "xz", SpeedINT, DomCompress, "C", true, 8264, 2, params{
+		load: .1334, store: .0473, branch: .0821,
+		l1d: 18, l2d: 6, l3: 2.2, l1i: 0.5, codeKB: 256,
+		brMPKI: 6, taken: .60, footprint: 512 << 20, ilp: 2.0,
+	}),
+
+	// ----------------------------------------------------- SPECrate INT
+	define("500.perlbench_r", "perlbench", RateINT, DomCompiler, "C", false, 2696, 3, params{
+		load: .2720, store: .1673, branch: .1816,
+		l1d: 12, l2d: 1.5, l3: 0.3, l1i: 4.8, codeKB: 2048,
+		brMPKI: 2.5, taken: .62, footprint: 128 << 20, ilp: 3.3,
+	}),
+	define("502.gcc_r", "gcc", RateINT, DomCompiler, "C", false, 3023, 5, params{
+		load: .3451, store: .1664, branch: .1496,
+		l1d: 15, l2d: 2.0, l3: 0.5, l1i: 5.1, codeKB: 4096,
+		brMPKI: 3, taken: .78, footprint: 160 << 20, ilp: 2.8,
+	}),
+	define("505.mcf_r", "mcf", RateINT, DomCombOpt, "C", false, 999, 1, params{
+		load: .1742, store: .0608, branch: .1154,
+		l1d: 50, l2d: 20.5, l3: 4.5, l1i: 3.0, codeKB: 256,
+		brMPKI: 8, taken: .80, footprint: 1536 << 20, ilp: 2.8,
+	}),
+	define("520.omnetpp_r", "omnetpp", RateINT, DomDESim, "C++", false, 1102, 1, params{
+		load: .2210, store: .1227, branch: .1412,
+		l1d: 24, l2d: 6, l3: 2.6, l1i: 2, codeKB: 1024,
+		brMPKI: 4, taken: .70, footprint: 160 << 20, ilp: 1.8,
+	}),
+	define("523.xalancbmk_r", "xalancbmk", RateINT, DomDocProc, "C++", false, 1315, 1, params{
+		load: .3426, store: .0807, branch: .3326,
+		l1d: 20, l2d: 5, l3: 1.8, l1i: 1.5, codeKB: 1024,
+		brMPKI: 3, taken: .72, footprint: 128 << 20, ilp: 2.6,
+	}),
+	define("525.x264_r", "x264", RateINT, DomVideo, "C", true, 4488, 3, params{
+		load: .2303, store: .0647, branch: .0437,
+		fp: .05, simd: .14,
+		l1d: 8, l2d: 1.0, l3: 0.2, l1i: 0.5, codeKB: 512,
+		brMPKI: 1, taken: .60, patterned: true,
+		stride: .02, footprint: 48 << 20, ilp: 4.5,
+	}),
+	define("531.deepsjeng_r", "deepsjeng", RateINT, DomAI, "C++", true, 1929, 1, params{
+		load: .1961, store: .0910, branch: .1161,
+		l1d: 6, l2d: 1.5, l3: 0.4, l1i: 1.2, codeKB: 512,
+		brMPKI: 4.5, taken: .55, footprint: 96 << 20, ilp: 3.0,
+	}),
+	define("541.leela_r", "leela", RateINT, DomAI, "C++", true, 2246, 1, params{
+		load: .1428, store: .0533, branch: .0895,
+		l1d: 4, l2d: 0.8, l3: 0.15, l1i: 0.8, codeKB: 384,
+		brMPKI: 8.3, taken: .55, footprint: 64 << 20, ilp: 2.3,
+	}),
+	define("548.exchange2_r", "exchange2", RateINT, DomAI, "Fortran", true, 6644, 1, params{
+		load: .2962, store: .2024, branch: .0869,
+		l1d: 1, l2d: 0.1, l3: 0.02, l1i: 0.3, codeKB: 256,
+		midBytes: 48 << 10,
+		brMPKI:   1.5, taken: .60, patterned: true,
+		footprint: 64 << 20, ilp: 2.9,
+	}),
+	define("557.xz_r", "xz", RateINT, DomCompress, "C", true, 1969, 2, params{
+		load: .1733, store: .0387, branch: .1224,
+		l1d: 18, l2d: 6, l3: 2.2, l1i: 0.5, codeKB: 256,
+		brMPKI: 6, taken: .60, footprint: 384 << 20, ilp: 1.8,
+	}),
+
+	// ----------------------------------------------------- SPECspeed FP
+	define("603.bwaves_s", "bwaves", SpeedFP, DomFluid, "Fortran", false, 66395, 2, params{
+		load: .3100, store: .0442, branch: .1300, fp: .35,
+		l1d: 22, l2d: 6, l3: 3.3, l1i: 0.3, codeKB: 256,
+		brMPKI: 1.2, taken: .85, patterned: true, patternFrac: 0.18,
+		stride: .10, footprint: 2 << 30, ilp: 4.2,
+	}),
+	define("607.cactubSSN_s", "cactubSSN", SpeedFP, DomPhysics, "C++/Fortran", true, 10976, 1, params{
+		load: .4387, store: .0950, branch: .0180, fp: .30,
+		l1d: 44, l2d: 7.2, l3: 2.6, l1i: 4, codeKB: 4096,
+		midBytes: 96 << 10, warmBytes: 12 << 20,
+		brMPKI: 0.5, taken: .80, patterned: true,
+		footprint: 2 << 30, ilp: 2.6,
+	}),
+	define("619.lbm_s", "lbm", SpeedFP, DomFluid, "C", false, 4416, 1, params{
+		load: .2962, store: .1768, branch: .0140, fp: .35,
+		l1d: 40, l2d: 7, l3: 4.5, l1i: 0.1, codeKB: 128,
+		brMPKI: 0.2, taken: .90, patterned: true,
+		stride: .08, footprint: 1 << 30, ilp: 2.6,
+	}),
+	define("621.wrf_s", "wrf", SpeedFP, DomClimate, "Fortran/C", false, 18524, 1, params{
+		load: .2320, store: .0580, branch: .0948, fp: .30,
+		l1d: 12, l2d: 2, l3: 0.8, l1i: 8, codeKB: 8192,
+		brMPKI: 1.2, taken: .75, patterned: true,
+		footprint: 256 << 20, ilp: 2.4,
+	}),
+	define("627.cam4_s", "cam4", SpeedFP, DomClimate, "Fortran/C", true, 15594, 1, params{
+		load: .2000, store: .1400, branch: .1092, fp: .30,
+		l1d: 10, l2d: 2.5, l3: 0.9, l1i: 9, codeKB: 8192,
+		midBytes: 48 << 10,
+		brMPKI:   1.8, taken: .70, patterned: true,
+		footprint: 256 << 20, ilp: 2.9,
+	}),
+	define("628.pop2_s", "pop2", SpeedFP, DomClimate, "Fortran/C", true, 18611, 1, params{
+		load: .2171, store: .0841, branch: .1513, fp: .28,
+		l1d: 8, l2d: 1.5, l3: 0.5, l1i: 10, codeKB: 12288,
+		midBytes: 48 << 10,
+		brMPKI:   1.5, taken: .70, patterned: true,
+		footprint: 192 << 20, ilp: 3.3,
+	}),
+	define("638.imagick_s", "imagick", SpeedFP, DomVisual, "C", true, 66788, 1, params{
+		load: .1816, store: .0046, branch: .0930, fp: .30, simd: .15,
+		l1d: 14, l2d: 1.7, l3: 0.45, l1i: 0.5, codeKB: 512,
+		brMPKI: 1, taken: .60, patterned: true,
+		footprint: 256 << 20, ilp: 1.05,
+	}),
+	define("644.nab_s", "nab", SpeedFP, DomMolecular, "C", true, 13489, 1, params{
+		load: .2349, store: .0751, branch: .0955, fp: .35,
+		l1d: 9, l2d: 1.5, l3: 0.5, l1i: 1, codeKB: 512,
+		brMPKI: 1.2, taken: .65, patterned: true,
+		footprint: 96 << 20, ilp: 2.5,
+	}),
+	define("649.fotonik3d_s", "fotonik3d", SpeedFP, DomPhysics, "Fortran", true, 4280, 1, params{
+		load: .3399, store: .1389, branch: .0384, fp: .30,
+		l1d: 95, l2d: 8, l3: 4.8, l1i: 0.3, codeKB: 256,
+		midBytes: 64 << 10,
+		brMPKI:   0.3, taken: .85, patterned: true,
+		stride: .05, footprint: 1536 << 20, ilp: 2.8,
+	}),
+	define("654.roms_s", "roms", SpeedFP, DomClimate, "Fortran", true, 22968, 1, params{
+		load: .3202, store: .0802, branch: .0753, fp: .35,
+		l1d: 16, l2d: 4, l3: 1.8, l1i: 1, codeKB: 512,
+		brMPKI: 0.8, taken: .80, patterned: true,
+		stride: .04, footprint: 1 << 30, ilp: 3.0,
+	}),
+
+	// ------------------------------------------------------ SPECrate FP
+	define("503.bwaves_r", "bwaves", RateFP, DomFluid, "Fortran", false, 5488, 2, params{
+		load: .3492, store: .0477, branch: .0951, fp: .35,
+		l1d: 15, l2d: 4, l3: 2.0, l1i: 0.3, codeKB: 256,
+		brMPKI: 1.2, taken: .85, patterned: true, patternFrac: 0.18,
+		stride: .10, footprint: 512 << 20, ilp: 3.8,
+	}),
+	define("507.cactubSSN_r", "cactubSSN", RateFP, DomPhysics, "C++/Fortran", true, 1322, 1, params{
+		load: .4362, store: .0953, branch: .0197, fp: .30,
+		l1d: 42, l2d: 7, l3: 2.5, l1i: 4, codeKB: 4096,
+		midBytes: 96 << 10, warmBytes: 12 << 20,
+		brMPKI: 0.5, taken: .80, patterned: true,
+		footprint: 1 << 30, ilp: 2.6,
+	}),
+	define("508.namd_r", "namd", RateFP, DomMolecular, "C++", false, 2237, 1, params{
+		load: .3012, store: .1025, branch: .0175, fp: .40, simd: .06,
+		l1d: 4, l2d: 0.6, l3: 0.1, l1i: 0.5, codeKB: 512,
+		brMPKI: 0.3, taken: .80, patterned: true,
+		footprint: 64 << 20, ilp: 3.2,
+	}),
+	define("510.parest_r", "parest", RateFP, DomBiomedical, "C++", true, 3461, 1, params{
+		load: .2951, store: .0250, branch: .1149, fp: .35,
+		l1d: 7, l2d: 1.5, l3: 0.4, l1i: 1, codeKB: 1024,
+		brMPKI: 1, taken: .80, patterned: true,
+		footprint: 128 << 20, ilp: 2.8,
+	}),
+	define("511.povray_r", "povray", RateFP, DomVisual, "C++", false, 3310, 1, params{
+		load: .3030, store: .1313, branch: .1420, fp: .30,
+		l1d: 6, l2d: 0.5, l3: 0.1, l1i: 1.5, codeKB: 1024,
+		midBytes: 1 << 20,
+		brMPKI:   1.5, taken: .70, patterned: true,
+		footprint: 128 << 20, ilp: 3.2,
+	}),
+	define("519.lbm_r", "lbm", RateFP, DomFluid, "C", false, 1468, 1, params{
+		load: .2835, store: .1509, branch: .0105, fp: .35,
+		l1d: 35, l2d: 6, l3: 3.5, l1i: 0.1, codeKB: 128,
+		brMPKI: 0.2, taken: .90, patterned: true,
+		stride: .06, footprint: 512 << 20, ilp: 4.0,
+	}),
+	define("521.wrf_r", "wrf", RateFP, DomClimate, "Fortran/C", false, 3197, 1, params{
+		load: .2294, store: .0593, branch: .0948, fp: .30,
+		l1d: 12, l2d: 2, l3: 0.8, l1i: 8, codeKB: 8192,
+		brMPKI: 1.2, taken: .75, patterned: true,
+		footprint: 224 << 20, ilp: 2.3,
+	}),
+	define("526.blender_r", "blender", RateFP, DomVisual, "C/C++", true, 5682, 1, params{
+		load: .3610, store: .1207, branch: .0789, fp: .25, simd: .08,
+		l1d: 14, l2d: 2.5, l3: 0.8, l1i: 4, codeKB: 6144,
+		brMPKI: 2, taken: .65,
+		footprint: 256 << 20, ilp: 2.2,
+	}),
+	define("527.cam4_r", "cam4", RateFP, DomClimate, "Fortran/C", true, 2732, 1, params{
+		load: .1999, store: .0837, branch: .1106, fp: .30,
+		l1d: 10, l2d: 2.5, l3: 0.9, l1i: 9, codeKB: 8192,
+		midBytes: 48 << 10,
+		brMPKI:   1.8, taken: .70, patterned: true,
+		footprint: 224 << 20, ilp: 2.9,
+	}),
+	define("538.imagick_r", "imagick", RateFP, DomVisual, "C", true, 4333, 1, params{
+		load: .2255, store: .0797, branch: .1094, fp: .30, simd: .15,
+		l1d: 10, l2d: 1.2, l3: 0.3, l1i: 0.5, codeKB: 512,
+		brMPKI: 1, taken: .60, patterned: true,
+		footprint: 128 << 20, ilp: 1.5,
+	}),
+	define("544.nab_r", "nab", RateFP, DomMolecular, "C", true, 2024, 1, params{
+		load: .2370, store: .0746, branch: .0965, fp: .35,
+		l1d: 9, l2d: 1.5, l3: 0.5, l1i: 1, codeKB: 512,
+		brMPKI: 1.2, taken: .65, patterned: true,
+		footprint: 96 << 20, ilp: 2.5,
+	}),
+	define("549.fotonik3d_r", "fotonik3d", RateFP, DomPhysics, "Fortran", true, 1288, 1, params{
+		load: .3912, store: .1207, branch: .0252, fp: .30,
+		l1d: 90, l2d: 6.5, l3: 4.0, l1i: 0.3, codeKB: 256,
+		midBytes: 64 << 10,
+		brMPKI:   0.3, taken: .85, patterned: true,
+		stride: .05, footprint: 768 << 20, ilp: 2.2,
+	}),
+	define("554.roms_r", "roms", RateFP, DomClimate, "Fortran", true, 2609, 1, params{
+		load: .3457, store: .0757, branch: .0673, fp: .35,
+		l1d: 13, l2d: 3, l3: 1.2, l1i: 1, codeKB: 512,
+		brMPKI: 0.8, taken: .80, patterned: true,
+		stride: .04, footprint: 512 << 20, ilp: 3.2,
+	}),
+}

@@ -1,0 +1,67 @@
+package workloads
+
+// emergingProfiles encodes the non-SPEC workloads of the paper's
+// Section V case studies:
+//
+//   - EDA (Section V-D): 175.vpr and 300.twolf from CPU2000 —
+//     pointer-chasing placement/routing codes whose hardware behaviour
+//     the paper finds closest to 505.mcf_r/605.mcf_s.
+//   - Graph analytics (Section V-F): pagerank and connected
+//     components, each on two real-world graphs. Pagerank is distinct
+//     from all of CPU2017 — random remote accesses drive very high
+//     L1 TLB activity — while connected components behaves like
+//     leela/deepsjeng/xz.
+//   - Databases (Section V-E): Cassandra under YCSB workloads A
+//     (update-heavy) and C (read-only). Their distinguishing features
+//     are the ones the paper names: instruction-cache and
+//     instruction-TLB pressure from a huge code footprint plus heavy
+//     kernel involvement, unlike anything in CPU2017.
+var emergingProfiles = []Profile{
+	// ------------------------------------------------------------- EDA
+	define("175.vpr", "vpr", EDA, DomEDA, "C", false, 110, 1, params{
+		load: .28, store: .11, branch: .16,
+		l1d: 40, l2d: 16, l3: 4.2, l1i: 1, codeKB: 384,
+		brMPKI: 7.5, taken: .75, footprint: 256 << 20, ilp: 2.2,
+	}),
+	define("300.twolf", "twolf", EDA, DomEDA, "C", false, 90, 1, params{
+		load: .30, store: .09, branch: .15,
+		l1d: 45, l2d: 18, l3: 4.0, l1i: 1.2, codeKB: 384,
+		brMPKI: 7, taken: .78, footprint: 192 << 20, ilp: 2.1,
+	}),
+
+	// ----------------------------------------------------------- Graph
+	define("pr-web", "pagerank", Graph, DomGraph, "C++", false, 450, 1, params{
+		load: .35, store: .05, branch: .14,
+		l1d: 50, l2d: 22, l3: 6, l1i: 0.5, codeKB: 256,
+		brMPKI: 5, taken: .60,
+		footprint: 4 << 30, ilp: 2.0,
+	}),
+	define("pr-twitter", "pagerank", Graph, DomGraph, "C++", false, 520, 1, params{
+		load: .36, store: .05, branch: .13,
+		l1d: 55, l2d: 25, l3: 7, l1i: 0.5, codeKB: 256,
+		brMPKI: 5.5, taken: .60,
+		footprint: 6 << 30, ilp: 1.9,
+	}),
+	define("cc-web", "concomp", Graph, DomGraph, "C++", false, 280, 1, params{
+		load: .18, store: .06, branch: .10,
+		l1d: 6, l2d: 1.5, l3: 0.5, l1i: 0.6, codeKB: 256,
+		brMPKI: 6, taken: .55, footprint: 512 << 20, ilp: 2.4,
+	}),
+	define("cc-twitter", "concomp", Graph, DomGraph, "C++", false, 320, 1, params{
+		load: .17, store: .05, branch: .10,
+		l1d: 7, l2d: 1.8, l3: 0.6, l1i: 0.6, codeKB: 256,
+		brMPKI: 6.5, taken: .55, footprint: 768 << 20, ilp: 2.3,
+	}),
+
+	// -------------------------------------------------------- Database
+	define("cas-WA", "cassandra", Database, DomDatabase, "Java", false, 800, 1, params{
+		load: .27, store: .13, branch: .17, kernel: .30,
+		l1d: 15, l2d: 4, l3: 1.5, l1i: 25, codeKB: 16384,
+		brMPKI: 4, taken: .60, footprint: 1 << 30, ilp: 2.2,
+	}),
+	define("cas-WC", "cassandra", Database, DomDatabase, "Java", false, 750, 1, params{
+		load: .30, store: .07, branch: .18, kernel: .25,
+		l1d: 13, l2d: 3.5, l3: 1.2, l1i: 20, codeKB: 16384,
+		brMPKI: 3.5, taken: .62, footprint: 1 << 30, ilp: 2.4,
+	}),
+}

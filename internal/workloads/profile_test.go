@@ -1,0 +1,283 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteCounts(t *testing.T) {
+	counts := map[Suite]int{
+		SpeedINT: 10, RateINT: 10, SpeedFP: 10, RateFP: 13,
+		CPU2006INT: 12, CPU2006FP: 17,
+		EDA: 2, Graph: 4, Database: 2,
+	}
+	for suite, want := range counts {
+		if got := len(BySuite(suite)); got != want {
+			t.Errorf("%v has %d profiles, want %d", suite, got, want)
+		}
+	}
+	if got := len(CPU2017()); got != 43 {
+		t.Fatalf("CPU2017 has %d benchmarks, want 43 (paper Table I)", got)
+	}
+	if got := len(CPU2006()); got != 29 {
+		t.Fatalf("CPU2006 has %d benchmarks, want 29", got)
+	}
+	if got := len(Emerging()); got != 8 {
+		t.Fatalf("Emerging has %d workloads, want 8", got)
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range All() {
+		if p.Name == "" || p.Base == "" {
+			t.Errorf("profile %+v missing name or base", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Spec.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", p.Name, err)
+		}
+		if p.ILP <= 0 {
+			t.Errorf("%s: ILP %v", p.Name, p.ILP)
+		}
+		if p.InputSets < 1 {
+			t.Errorf("%s: input sets %d", p.Name, p.InputSets)
+		}
+		if p.DynInstrBillions <= 0 {
+			t.Errorf("%s: instruction count %v", p.Name, p.DynInstrBillions)
+		}
+	}
+}
+
+func TestTableIMixTranscription(t *testing.T) {
+	// Spot-check the transcription of Table I.
+	cases := []struct {
+		name                string
+		load, store, branch float64
+		icount              float64
+	}{
+		{"605.mcf_s", .1855, .0470, .1253, 1775},
+		{"623.xalancbmk_s", .3408, .0790, .3318, 1320},
+		{"507.cactubSSN_r", .4362, .0953, .0197, 1322},
+		{"638.imagick_s", .1816, .0046, .0930, 66788},
+		{"548.exchange2_r", .2962, .2024, .0869, 6644},
+	}
+	for _, c := range cases {
+		p, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Spec.LoadFrac != c.load || p.Spec.StoreFrac != c.store || p.Spec.BranchFrac != c.branch {
+			t.Errorf("%s mix = %v/%v/%v, want %v/%v/%v", c.name,
+				p.Spec.LoadFrac, p.Spec.StoreFrac, p.Spec.BranchFrac, c.load, c.store, c.branch)
+		}
+		if p.DynInstrBillions != c.icount {
+			t.Errorf("%s icount %v, want %v", c.name, p.DynInstrBillions, c.icount)
+		}
+	}
+}
+
+func TestSpeedHigherInstructionCounts(t *testing.T) {
+	// Speed benchmarks have up to ~8x (FP) / ~2x (INT) the rate
+	// versions' instruction counts (Section II-B).
+	for _, pair := range RateSpeedPairs() {
+		r, s := pair[0], pair[1]
+		// Table I itself lists leela and exchange2 with a speed count
+		// one billion below the rate count, so allow a 0.1% slack.
+		if s.DynInstrBillions < r.DynInstrBillions*0.999 {
+			t.Errorf("%s: speed icount %v < rate %v", s.Name, s.DynInstrBillions, r.DynInstrBillions)
+		}
+	}
+}
+
+func TestRateSpeedPairs(t *testing.T) {
+	pairs := RateSpeedPairs()
+	// 43 benchmarks, 5 of which exist in only one category
+	// (namd, parest, povray, blender rate-only; pop2 speed-only):
+	// 19 shared families.
+	if len(pairs) != 19 {
+		t.Fatalf("got %d rate/speed pairs, want 19", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[0].Base != p[1].Base {
+			t.Errorf("pair bases differ: %s vs %s", p[0].Name, p[1].Name)
+		}
+		if !strings.HasSuffix(p[0].Name, "_r") || !strings.HasSuffix(p[1].Name, "_s") {
+			t.Errorf("pair order wrong: %s, %s", p[0].Name, p[1].Name)
+		}
+	}
+}
+
+func TestSingleCategoryBenchmarks(t *testing.T) {
+	// Section IV-D: namd, parest, povray, blender are rate-only;
+	// pop2 is speed-only.
+	rateOnly := []string{"508.namd_r", "510.parest_r", "511.povray_r", "526.blender_r"}
+	for _, name := range rateOnly {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("missing rate-only benchmark %s", name)
+		}
+	}
+	if _, err := ByName("628.pop2_s"); err != nil {
+		t.Error("missing speed-only benchmark 628.pop2_s")
+	}
+}
+
+func TestInputSets(t *testing.T) {
+	multi := map[string]int{
+		"500.perlbench_r": 3, "502.gcc_r": 5, "525.x264_r": 3, "557.xz_r": 2,
+		"600.perlbench_s": 3, "602.gcc_s": 3, "625.x264_s": 3, "657.xz_s": 2,
+		"503.bwaves_r": 2, "603.bwaves_s": 2,
+	}
+	for name, want := range multi {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.InputSets != want {
+			t.Errorf("%s has %d input sets, want %d", name, p.InputSets, want)
+		}
+	}
+}
+
+func TestWorkloadInputPerturbation(t *testing.T) {
+	p, err := ByName("502.gcc_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := p.WorkloadInput(1)
+	w2 := p.WorkloadInput(2)
+	if w1.Key == w2.Key {
+		t.Fatal("input sets must have distinct keys")
+	}
+	if w1.Spec == w2.Spec {
+		t.Fatal("input sets should be perturbed")
+	}
+	if err := w2.Spec.Validate(); err != nil {
+		t.Fatalf("perturbed input spec invalid: %v", err)
+	}
+	// All five gcc inputs stay valid.
+	for i := 1; i <= p.InputSets; i++ {
+		if err := p.WorkloadInput(i).Spec.Validate(); err != nil {
+			t.Errorf("input %d: %v", i, err)
+		}
+	}
+}
+
+func TestWorkloadInputPanicsOutOfRange(t *testing.T) {
+	p, _ := ByName("505.mcf_r")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range input set")
+		}
+	}()
+	p.WorkloadInput(2)
+}
+
+func TestInputKeyAndLabel(t *testing.T) {
+	single, _ := ByName("505.mcf_r")
+	if single.InputKey(1) != "505.mcf_r" || single.InputLabel(1) != "505.mcf_r" {
+		t.Error("single-input naming wrong")
+	}
+	multi, _ := ByName("502.gcc_r")
+	if multi.InputKey(2) != "502.gcc_r/input2" {
+		t.Errorf("InputKey = %q", multi.InputKey(2))
+	}
+	if multi.InputLabel(2) != "502.gcc_r-2" {
+		t.Errorf("InputLabel = %q", multi.InputLabel(2))
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("999.nothing"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+func TestNewBenchmarkFlags(t *testing.T) {
+	// The paper: 9 new FP benchmarks, 5 new INT families (AI trio +
+	// x264 + xz), each present in rate and speed where applicable.
+	newCount := 0
+	for _, p := range CPU2017() {
+		if p.NewIn2017 {
+			newCount++
+		}
+	}
+	// Families new in 2017: deepsjeng, leela, exchange2, x264, xz (INT,
+	// both categories = 10 entries); the nine new FP families of
+	// Section II-A appear as 8 rate + 7 speed entries = 15.
+	if newCount != 25 {
+		t.Fatalf("%d benchmarks flagged new, want 25", newCount)
+	}
+}
+
+func TestDomainsMatchTableVIII(t *testing.T) {
+	cases := map[string]Domain{
+		"505.mcf_r":       DomCombOpt,
+		"520.omnetpp_r":   DomDESim,
+		"523.xalancbmk_r": DomDocProc,
+		"510.parest_r":    DomBiomedical,
+		"549.fotonik3d_r": DomPhysics,
+		"554.roms_r":      DomClimate,
+		"544.nab_r":       DomMolecular,
+		"526.blender_r":   DomVisual,
+		"519.lbm_r":       DomFluid,
+		"531.deepsjeng_r": DomAI,
+	}
+	for name, want := range cases {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Domain != want {
+			t.Errorf("%s domain %q, want %q", name, p.Domain, want)
+		}
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SpeedINT.String() != "SPECspeed INT" || RateFP.String() != "SPECrate FP" {
+		t.Fatal("suite names wrong")
+	}
+	if !RateFP.IsCPU2017() || CPU2006INT.IsCPU2017() {
+		t.Fatal("IsCPU2017 wrong")
+	}
+	if !CPU2006FP.IsCPU2006() || EDA.IsCPU2006() {
+		t.Fatal("IsCPU2006 wrong")
+	}
+}
+
+func TestBuildSpecHitsRegionBudget(t *testing.T) {
+	// Region fractions must always sum to <= 1 with hot >= 0, even for
+	// aggressive targets.
+	p := params{
+		load: .4, store: .1, branch: .1,
+		l1d: 90, l2d: 40, l3: 20, l1i: 10,
+		stride: .3, taken: .6, brMPKI: 8, ilp: 2,
+	}
+	spec := buildSpec(p)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("over-constrained targets produced invalid spec: %v", err)
+	}
+	sum := spec.HotFrac + spec.MidFrac + spec.WarmFrac + spec.StrideFrac
+	if sum > 1+1e-9 {
+		t.Fatalf("region fractions sum to %v", sum)
+	}
+}
+
+func TestMemoryBoundProfilesHaveColdTraffic(t *testing.T) {
+	// Profiles with high L3 targets must actually send references to
+	// the cold region (the remainder after hot/mid/warm/stride).
+	for _, name := range []string{"505.mcf_r", "pr-twitter", "473.astar"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rem := 1 - p.Spec.HotFrac - p.Spec.MidFrac - p.Spec.WarmFrac - p.Spec.StrideFrac
+		if rem < 0.005 {
+			t.Errorf("%s: cold fraction %v too small for a memory-bound profile", name, rem)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Every input set of every profile must produce a valid, runnable
+// workload whose perturbed spec still honours the trace invariants.
+func TestAllInputSetsValid(t *testing.T) {
+	for _, p := range All() {
+		for i := 1; i <= p.InputSets; i++ {
+			w := p.WorkloadInput(i)
+			if err := w.Spec.Validate(); err != nil {
+				t.Errorf("%s input %d: %v", p.Name, i, err)
+			}
+			if w.Key == "" {
+				t.Errorf("%s input %d: empty key", p.Name, i)
+			}
+		}
+	}
+}
+
+// Keys must be globally unique across profiles and input sets — a
+// collision would silently alias two workloads' trace streams.
+func TestWorkloadKeysUnique(t *testing.T) {
+	seen := make(map[string]string)
+	for _, p := range All() {
+		for i := 1; i <= p.InputSets; i++ {
+			k := p.InputKey(i)
+			if owner, dup := seen[k]; dup {
+				t.Errorf("key %q used by both %s and %s", k, owner, p.Name)
+			}
+			seen[k] = p.Name
+		}
+	}
+}
+
+// Every profile must generate a trace without panicking and with a
+// plausible mix in a short window.
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range All() {
+		g, err := trace.NewGenerator(p.Spec, p.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		var ev trace.Event
+		branches := 0
+		for i := 0; i < 5000; i++ {
+			g.Next(&ev)
+			if ev.Kind == trace.CondBranch {
+				branches++
+			}
+		}
+		if branches == 0 {
+			t.Errorf("%s: no branches in 5000 instructions", p.Name)
+		}
+	}
+}
+
+// Every profile must survive machine spec adjustment on every fleet
+// machine (the jitter renormalization must never produce an invalid
+// spec).
+func TestAllProfilesRunnableOnFleet(t *testing.T) {
+	fleet, err := machine.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running everything at full length is the experiments suite's
+	// job; here a tiny window just proves the plumbing for every
+	// (profile, machine) pair.
+	opts := machine.RunOptions{Instructions: 2_000, WarmupInstructions: 500}
+	for _, p := range All() {
+		for _, m := range fleet {
+			if _, err := m.Run(p.Workload(), opts); err != nil {
+				t.Errorf("%s on %s: %v", p.Name, m.Name(), err)
+			}
+		}
+	}
+}
+
+// Table I mixes must stay within physical bounds after encoding.
+func TestMixesWithinBounds(t *testing.T) {
+	for _, p := range All() {
+		s := p.Spec
+		if sum := s.LoadFrac + s.StoreFrac + s.BranchFrac + s.FPFrac + s.SIMDFrac; sum > 1 {
+			t.Errorf("%s: mix fractions sum to %v", p.Name, sum)
+		}
+	}
+}
