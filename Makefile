@@ -1,0 +1,36 @@
+# Development / CI entry points. `make ci` is what a checkin must pass.
+#
+# The full test suite under the race detector rebuilds fleet
+# characterizations, which the race runtime slows by ~20x (minutes per
+# Lab); `ci` therefore runs -race on the concurrent packages (server,
+# metrics, core, cluster, stats) where it has teeth, and `race-all`
+# remains available for the exhaustive run.
+
+GO ?= go
+RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
+             ./internal/cluster/... ./internal/stats/...
+
+.PHONY: ci vet build test race race-all bench clean
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+race-all:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -34,6 +34,37 @@ func lab(b *testing.B) *Lab {
 	return benchLab
 }
 
+// benchmarkCharacterize measures the fleet characterization fan-out
+// itself (8 benchmarks × 7 machines) at a fixed worker count, so the
+// serial/parallel pair below shows the speedup of running the
+// per-machine measurements across goroutines.
+func benchmarkCharacterize(b *testing.B, parallelism int) {
+	fleet, err := Fleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var entries []Entry
+	for _, p := range CPU2017Profiles()[:8] {
+		entries = append(entries, Entry{Label: p.Name, Workload: p.Workload()})
+	}
+	opts := RunOptions{Instructions: 20_000, WarmupInstructions: 4_000, Parallelism: parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(entries, fleet, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeSerial runs every (workload, machine)
+// measurement on one goroutine.
+func BenchmarkCharacterizeSerial(b *testing.B) { benchmarkCharacterize(b, 1) }
+
+// BenchmarkCharacterizeParallel fans the measurements out across
+// GOMAXPROCS workers — the Lab's default. Compare with
+// BenchmarkCharacterizeSerial for the fleet-parallelism speedup.
+func BenchmarkCharacterizeParallel(b *testing.B) { benchmarkCharacterize(b, 0) }
+
 func BenchmarkTable1InstrMix(b *testing.B) {
 	l := lab(b)
 	b.ResetTimer()

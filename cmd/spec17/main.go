@@ -61,7 +61,39 @@ func main() {
 		return
 	}
 
-	runners := map[string]func(*experiments.Lab, int) error{
+	runners := textRunners()
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := experiments.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "spec17: unknown experiment %q\nvalid experiments:\n", id)
+				for _, known := range experiments.SortedIDs() {
+					fmt.Fprintf(os.Stderr, "  %s\n", known)
+				}
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if err := runners[id](lab, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "spec17: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// textRunners maps every registry experiment id to its terminal
+// renderer. The ids and ordering come from experiments.Registry —
+// the same identity spec17d serves over HTTP — and a test asserts
+// the two sets stay equal.
+func textRunners() map[string]func(*experiments.Lab, int) error {
+	return map[string]func(*experiments.Lab, int) error{
 		"table1":    runTable1,
 		"table2":    runTable2,
 		"fig1":      runFig1,
@@ -92,36 +124,6 @@ func main() {
 		"rate-scaling":       runRateScaling,
 		"tree-similarity":    runTreeSimilarity,
 		"noise":              runNoise,
-	}
-	order := []string{
-		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "table5",
-		"fig5", "fig6", "table6", "fig7", "fig8", "table7", "ratespeed",
-		"fig9", "fig10", "table8", "fig11", "fig12", "fig13", "table9",
-		"ablation-linkage", "ablation-weighting", "ablation-pcs", "subset-sweep",
-		"table9-extended", "rate-scaling", "tree-similarity", "noise",
-	}
-
-	var ids []string
-	if *exp == "all" {
-		ids = order
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			id = strings.TrimSpace(strings.ToLower(id))
-			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "spec17: unknown experiment %q (known: %s)\n",
-					id, strings.Join(order, " "))
-				os.Exit(2)
-			}
-			ids = append(ids, id)
-		}
-	}
-
-	for _, id := range ids {
-		if err := runners[id](lab, *width); err != nil {
-			fmt.Fprintf(os.Stderr, "spec17: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Println()
 	}
 }
 

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRunnersMatchRegistry pins the CLI's renderer set to the
+// experiment registry: every servable experiment has a text renderer,
+// and no renderer exists for an id the registry doesn't know.
+func TestRunnersMatchRegistry(t *testing.T) {
+	runners := textRunners()
+	for _, id := range experiments.IDs() {
+		if runners[id] == nil {
+			t.Errorf("registry id %q has no text renderer", id)
+		}
+	}
+	for id := range runners {
+		if _, ok := experiments.Lookup(id); !ok {
+			t.Errorf("renderer %q has no registry entry", id)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command spec17d serves the reproduction's experiment suite over
+// HTTP/JSON — the batch spec17 CLI turned into a long-running
+// characterization service with result caching, request coalescing,
+// and Prometheus metrics.
+//
+// Usage:
+//
+//	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n]
+//
+// Endpoints:
+//
+//	GET /v1/experiments                  catalog of experiment ids
+//	GET /v1/experiments/{id}?instructions=N&warmup=M
+//	GET /v1/report?instructions=N&warmup=M
+//	GET /healthz
+//	GET /metrics                         Prometheus text format
+//
+// See docs/SERVER.md for endpoint, caching, and metrics details.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8417", "listen address")
+		cache   = flag.Int("cache", 512, "max cached experiment results (LRU)")
+		labs    = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
+		workers = flag.Int("workers", 2, "max concurrent lab computations")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "spec17d: ", log.LstdFlags)
+	s := server.New(server.Config{
+		ResultCacheSize: *cache,
+		LabCacheSize:    *labs,
+		Workers:         *workers,
+		Log:             logger,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving on http://%s (catalog: /v1/experiments, metrics: /metrics)", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+		return
+	case got := <-sig:
+		logger.Printf("received %v, draining for up to %v", got, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "spec17d: drained, bye")
+}

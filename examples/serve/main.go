@@ -1,0 +1,107 @@
+// Example serve: run the spec17d characterization service in-process,
+// query two experiments (plus a repeat), and show the cache doing its
+// job via the /metrics deltas.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	s := server.New(server.Config{})
+
+	// Random port: the kernel picks one, the example prints it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := s.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + l.Addr().String()
+	fmt.Printf("spec17d serving on %s\n\n", base)
+
+	// Tiny fidelity keeps the one-time fleet characterization quick;
+	// both experiments and the repeat share one Lab and one cache.
+	const fidelity = "instructions=2000"
+	hits0 := metric(base, "spec17d_cache_hits_total")
+
+	for _, q := range []string{
+		"/v1/experiments/table2?" + fidelity,
+		"/v1/experiments/ratespeed?" + fidelity,
+		"/v1/experiments/table2?" + fidelity, // repeat: served from cache
+	} {
+		start := time.Now()
+		cached, title := fetch(base + q)
+		fmt.Printf("GET %-44s %8s cached=%v (%s)\n",
+			q, time.Since(start).Round(time.Millisecond), cached, title)
+	}
+
+	hits1 := metric(base, "spec17d_cache_hits_total")
+	fmt.Printf("\nspec17d_cache_hits_total: %g -> %g (delta %g)\n", hits0, hits1, hits1-hits0)
+	fmt.Printf("spec17d_computations_total: %g\n", metric(base, "spec17d_computations_total"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fetch GETs one experiment and returns its cached flag and title.
+func fetch(url string) (cached bool, title string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var body struct {
+		Title  string `json:"title"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		log.Fatal(err)
+	}
+	return body.Cached, body.Title
+}
+
+// metric scrapes one unlabelled sample from /metrics.
+func metric(base, name string) float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad metric line %q: %v\n", line, err)
+				os.Exit(1)
+			}
+			return v
+		}
+	}
+	return 0
+}

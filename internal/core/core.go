@@ -38,8 +38,9 @@ type Characterization struct {
 }
 
 // Characterize measures every entry on every machine. Runs are
-// independent and execute in parallel; results are deterministic
-// regardless of scheduling.
+// independent and fan out across a worker pool (opts.Parallelism
+// workers; 0 = GOMAXPROCS, 1 = serial); results are stored by
+// (label, machine) and are deterministic regardless of scheduling.
 func Characterize(entries []Entry, machines []*machine.Machine, opts machine.RunOptions) (*Characterization, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no workloads to characterize")
@@ -81,7 +82,10 @@ func Characterize(entries []Entry, machines []*machine.Machine, opts machine.Run
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(entries)*len(machines) {
 		workers = len(entries) * len(machines)
 	}

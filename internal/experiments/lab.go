@@ -18,6 +18,11 @@ import (
 // Lab owns the shared measurement state. The zero value is not usable;
 // create with NewLab. All experiments sharing a Lab reuse one fleet
 // characterization, so the expensive simulation work happens once.
+// The characterization fans the per-machine measurements out across
+// goroutines (see core.Characterize; bound it with
+// RunOptions.Parallelism) with deterministic results regardless of
+// scheduling, and Lab is safe for concurrent use — spec17d serves
+// many requests from one Lab.
 type Lab struct {
 	opts machine.RunOptions
 

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIDsUniqueAndWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range Registry() {
+		if d.ID == "" || d.Title == "" || d.Run == nil {
+			t.Errorf("descriptor %+v incomplete", d)
+		}
+		if d.ID != strings.ToLower(d.ID) || strings.ContainsAny(d.ID, " \t") {
+			t.Errorf("id %q not lowercase/space-free", d.ID)
+		}
+		if seen[d.ID] {
+			t.Errorf("duplicate id %q", d.ID)
+		}
+		seen[d.ID] = true
+		switch d.Kind {
+		case "table", "figure", "section", "ablation", "extension":
+		default:
+			t.Errorf("id %q has unknown kind %q", d.ID, d.Kind)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, id := range IDs() {
+		d, ok := Lookup(id)
+		if !ok || d.ID != id {
+			t.Errorf("Lookup(%q) = %+v, %v", id, d, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-experiment"); ok {
+		t.Error("Lookup accepted an unknown id")
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	ids := SortedIDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("SortedIDs not sorted: %v", ids)
+	}
+	if len(ids) != len(IDs()) {
+		t.Errorf("SortedIDs dropped ids: %d vs %d", len(ids), len(IDs()))
+	}
+}
+
+func TestUnknownIDError(t *testing.T) {
+	err := UnknownIDError("zzz")
+	msg := err.Error()
+	if !strings.Contains(msg, `"zzz"`) {
+		t.Errorf("error does not name the unknown id: %s", msg)
+	}
+	for _, id := range []string{"table1", "fig13", "ablation-linkage", "noise"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid id %q: %s", id, msg)
+		}
+	}
+}
+
+// TestRegistryRunsOnSharedLab runs two cheap registry entries on the
+// package test lab, exercising the Run indirection end to end.
+func TestRegistryRunsOnSharedLab(t *testing.T) {
+	l := lab(t)
+	for _, id := range []string{"table2", "ratespeed"} {
+		d, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+		res, err := d.Run(l)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res == nil {
+			t.Fatalf("%s: nil result", id)
+		}
+	}
+}

@@ -140,6 +140,12 @@ type RunOptions struct {
 	// WarmupInstructions executed before counters reset.
 	// Defaults to Instructions/5.
 	WarmupInstructions int
+	// Parallelism bounds the number of concurrent per-machine runs a
+	// fleet characterization may use (see core.Characterize). It does
+	// not affect a single Run, and it never affects results — runs are
+	// deterministic regardless of scheduling. 0 means GOMAXPROCS;
+	// 1 forces fully serial measurement.
+	Parallelism int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -149,6 +155,16 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.WarmupInstructions <= 0 {
 		o.WarmupInstructions = o.Instructions / 5
 	}
+	return o
+}
+
+// Canonical returns the options with measurement defaults applied and
+// scheduling-only knobs (Parallelism) cleared. Two RunOptions with the
+// same Canonical value produce bit-identical measurements, so Canonical
+// is the correct cache identity for characterization results.
+func (o RunOptions) Canonical() RunOptions {
+	o = o.withDefaults()
+	o.Parallelism = 0
 	return o
 }
 

@@ -257,3 +257,32 @@ func TestRunDefaults(t *testing.T) {
 		t.Fatal("machine without L3 recorded L3 accesses")
 	}
 }
+
+func TestRunOptionsCanonical(t *testing.T) {
+	cases := []struct {
+		in   RunOptions
+		want RunOptions
+	}{
+		// Zero value takes all measurement defaults.
+		{RunOptions{}, RunOptions{Instructions: 400_000, WarmupInstructions: 80_000}},
+		// Default warmup is instructions/5.
+		{RunOptions{Instructions: 5000}, RunOptions{Instructions: 5000, WarmupInstructions: 1000}},
+		// Explicit values survive.
+		{RunOptions{Instructions: 5000, WarmupInstructions: 42}, RunOptions{Instructions: 5000, WarmupInstructions: 42}},
+		// Parallelism is a scheduling knob, not a measurement
+		// identity: Canonical clears it.
+		{RunOptions{Instructions: 5000, Parallelism: 7}, RunOptions{Instructions: 5000, WarmupInstructions: 1000}},
+	}
+	for _, c := range cases {
+		if got := c.in.Canonical(); got != c.want {
+			t.Errorf("Canonical(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	// Spelling the default warmup explicitly lands on the same
+	// canonical identity — the property the server's cache key needs.
+	a := RunOptions{Instructions: 5000}.Canonical()
+	b := RunOptions{Instructions: 5000, WarmupInstructions: 1000}.Canonical()
+	if a != b {
+		t.Errorf("equivalent fidelities canonicalize differently: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value = %v, want 3.5", got)
+	}
+	// Re-registering the same name/type returns the same counter.
+	if c2 := r.Counter("jobs_total", "Jobs processed."); c2 != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight", "In-flight jobs.")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("Value = %v, want 3", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "Requests.", "endpoint", "code")
+	v.With("/healthz", "200").Inc()
+	v.With("/healthz", "200").Inc()
+	v.With("/metrics", "200").Inc()
+	if got := v.With("/healthz", "200").Value(); got != 2 {
+		t.Errorf("healthz count = %v, want 2", got)
+	}
+	if got := v.With("/metrics", "200").Value(); got != 1 {
+		t.Errorf("metrics count = %v, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 102.65 {
+		t.Errorf("Sum = %v, want 102.65", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: le=0.1 has 2 (0.05 and the boundary 0.1),
+	// le=1 has 3, le=10 has 4, +Inf has all 5.
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 102.65`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A counter.").Add(2)
+	r.Gauge("b", "A gauge.").Set(-1.5)
+	r.CounterVec("c_total", "Labelled.", "x").With(`quo"te`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP a_total A counter.\n# TYPE a_total counter\na_total 2\n",
+		"# TYPE b gauge\nb -1.5\n",
+		"c_total{x=\"quo\\\"te\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families with no series are omitted entirely.
+	r2 := NewRegistry()
+	r2.CounterVec("unused_total", "Never incremented.", "x")
+	var b2 strings.Builder
+	if err := r2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != "" {
+		t.Errorf("empty family rendered: %q", b2.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	expectPanic("bad metric name", func() { r.Counter("bad-name", "") })
+	expectPanic("bad label name", func() { r.CounterVec("v_total", "", "not-ok") })
+	expectPanic("type clash", func() { r.Gauge("ok_total", "") })
+	expectPanic("label clash", func() { r.CounterVec("ok_total", "", "x") })
+	expectPanic("bad buckets", func() { r.Histogram("h", "", []float64{1, 1}) })
+	v := r.CounterVec("labelled_total", "", "x", "y")
+	expectPanic("label arity", func() { v.With("only-one") })
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	v := r.CounterVec("v_total", "", "w")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / per)
+				v.With(string(rune('a' + w%2))).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %v, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	total := v.With("a").Value() + v.With("b").Value()
+	if total != workers*per {
+		t.Errorf("vec total = %v, want %d", total, workers*per)
+	}
+}

@@ -1,0 +1,60 @@
+package server
+
+import "sync"
+
+// group coalesces concurrent calls for the same key into one
+// execution — a minimal singleflight. The first caller for a key runs
+// fn; callers arriving while that flight is in progress block and
+// share its result instead of recomputing.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int // callers coalesced onto this flight, guarded by group.mu
+}
+
+func newGroup() *group {
+	return &group{calls: make(map[string]*call)}
+}
+
+// do runs fn once per concurrent set of callers with the same key.
+// joined reports whether this caller coalesced onto another caller's
+// in-progress flight (i.e. it did not execute fn itself).
+func (g *group) do(key string, fn func() (any, error)) (val any, err error, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// waiting reports how many callers have coalesced onto key's
+// in-progress flight (0 if no flight is active). Used by tests to
+// release a blocked computation only after every expected waiter has
+// joined.
+func (g *group) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightCoalesces(t *testing.T) {
+	g := newGroup()
+	const callers = 8
+	var executions atomic.Int64
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	joins := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, joined := g.do("k", func() (any, error) {
+				executions.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], joins[i] = v, joined
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters joined", g.waiting("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Errorf("executions = %d, want 1", n)
+	}
+	var joined int
+	for i := range results {
+		if results[i] != 42 {
+			t.Errorf("caller %d got %v", i, results[i])
+		}
+		if joins[i] {
+			joined++
+		}
+	}
+	if joined != callers-1 {
+		t.Errorf("joined = %d, want %d", joined, callers-1)
+	}
+}
+
+func TestFlightSequentialCallsRunSeparately(t *testing.T) {
+	g := newGroup()
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, _, joined := g.do("k", func() (any, error) {
+			executions.Add(1)
+			return nil, nil
+		})
+		if joined {
+			t.Errorf("sequential call %d reported joined", i)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Errorf("executions = %d, want 3 (no flight to coalesce onto)", n)
+	}
+}
+
+func TestFlightSharesError(t *testing.T) {
+	g := newGroup()
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err, _ := g.do("k", func() (any, error) {
+				<-release
+				return nil, boom
+			})
+			errs[i] = err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d error = %v, want boom", i, err)
+		}
+	}
+	// A failed flight is not cached anywhere: the next call executes.
+	_, _, joined := g.do("k", func() (any, error) { return nil, nil })
+	if joined {
+		t.Error("call after failed flight joined a dead flight")
+	}
+}

@@ -1,0 +1,84 @@
+//go:build !race
+
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestRealLabCoalescingAndCache exercises the default compute path
+// end to end on a real (tiny-fidelity) Lab: 16 concurrent requests
+// for the same uncached experiment characterize the fleet exactly
+// once, and a repeat request is a recorded cache hit in /metrics.
+//
+// Excluded from -race builds: one fleet characterization takes
+// minutes under the race detector. The same coalescing logic runs
+// under -race in TestCoalescing with a stubbed computation.
+func TestRealLabCoalescingAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fleet characterization (~6s)")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const concurrent = 16
+	const path = "/v1/experiments/table2?instructions=2000"
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := get(t, ts, path)
+			if code != http.StatusOK {
+				t.Errorf("status %d: %s", code, body)
+				return
+			}
+			var r struct {
+				Cached bool            `json:"cached"`
+				Result json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Error(err)
+				return
+			}
+			if len(r.Result) == 0 || string(r.Result) == "null" {
+				t.Error("empty result")
+			}
+		}()
+	}
+	wg.Wait()
+
+	if v := metricValue(t, ts, "spec17d_computations_total"); v != 1 {
+		t.Errorf("spec17d_computations_total = %v, want exactly 1 Lab computation", v)
+	}
+
+	// The repeat request hits the cache; a second experiment at the
+	// same fidelity reuses the already-characterized Lab.
+	code, body := get(t, ts, path)
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d", code)
+	}
+	var r struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cached {
+		t.Error("repeat request not served from cache")
+	}
+	if v := metricValue(t, ts, "spec17d_cache_hits_total"); v < 1 {
+		t.Errorf("spec17d_cache_hits_total = %v, want >= 1", v)
+	}
+	if code, _ := get(t, ts, "/v1/experiments/ratespeed?instructions=2000"); code != http.StatusOK {
+		t.Errorf("second experiment at same fidelity: status %d", code)
+	}
+	if v := metricValue(t, ts, "spec17d_computations_total"); v != 2 {
+		t.Errorf("spec17d_computations_total = %v, want 2", v)
+	}
+}

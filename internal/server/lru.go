@@ -1,0 +1,59 @@
+package server
+
+import "container/list"
+
+// lru is a bounded string-keyed map with least-recently-used eviction.
+// It is not safe for concurrent use; the Server guards it with its own
+// mutex.
+type lru struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the value for key, marking it most recently used.
+func (l *lru) get(key string) (any, bool) {
+	e, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// if the cache is over capacity. It reports whether an eviction
+// happened.
+func (l *lru) put(key string, val any) bool {
+	if e, ok := l.items[key]; ok {
+		e.Value.(*lruEntry).val = val
+		l.ll.MoveToFront(e)
+		return false
+	}
+	l.items[key] = l.ll.PushFront(&lruEntry{key: key, val: val})
+	if l.ll.Len() <= l.cap {
+		return false
+	}
+	oldest := l.ll.Back()
+	l.ll.Remove(oldest)
+	delete(l.items, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+func (l *lru) len() int { return l.ll.Len() }

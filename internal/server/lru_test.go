@@ -1,0 +1,50 @@
+package server
+
+import "testing"
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := newLRU(2)
+	l.put("a", 1)
+	l.put("b", 2)
+	if _, ok := l.get("a"); !ok { // refresh a: b is now oldest
+		t.Fatal("a missing")
+	}
+	if evicted := l.put("c", 3); !evicted {
+		t.Error("inserting over capacity did not evict")
+	}
+	if _, ok := l.get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := l.get(k); !ok {
+			t.Errorf("%s missing", k)
+		}
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d, want 2", l.len())
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	l := newLRU(2)
+	l.put("a", 1)
+	if evicted := l.put("a", 2); evicted {
+		t.Error("updating an existing key evicted")
+	}
+	v, ok := l.get("a")
+	if !ok || v.(int) != 2 {
+		t.Errorf("get(a) = %v, %v; want 2", v, ok)
+	}
+	if l.len() != 1 {
+		t.Errorf("len = %d, want 1", l.len())
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	l := newLRU(0) // clamped to 1
+	l.put("a", 1)
+	l.put("b", 2)
+	if l.len() != 1 {
+		t.Errorf("len = %d, want 1", l.len())
+	}
+}

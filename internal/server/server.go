@@ -1,0 +1,474 @@
+// Package server implements spec17d's HTTP characterization service:
+// the full experiment suite of the reproduction served over JSON, with
+// a keyed LRU result cache, singleflight request coalescing, and a
+// bounded worker pool in front of the expensive fleet
+// characterizations.
+//
+// Endpoints:
+//
+//	GET /v1/experiments                  experiment catalog
+//	GET /v1/experiments/{id}?instructions=N&warmup=M
+//	GET /v1/report?instructions=N&warmup=M
+//	GET /healthz
+//	GET /metrics                         Prometheus text exposition
+//
+// Results are cached by (experiment id, canonical RunOptions); the
+// measurement substrate is deterministic, so cached entries never
+// expire — identical options reproduce identical bytes. Concurrent
+// requests for the same uncached key coalesce onto one computation,
+// and at most Config.Workers computations run at once, so a stampede
+// of distinct fidelities degrades into an orderly queue instead of
+// characterizing the fleet N times concurrently.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+// reportID is the internal cache identity of the full report; it is
+// deliberately not a valid experiment id.
+const reportID = "__report__"
+
+// maxInstructions caps the per-run fidelity a request may ask for.
+// Characterization cost is linear in this value; the cap keeps one
+// request from tying up a worker for hours.
+const maxInstructions = 10_000_000
+
+// Config configures a Server. The zero value is usable: every field
+// has a sensible default.
+type Config struct {
+	// ResultCacheSize bounds the number of cached experiment results
+	// (LRU-evicted). Defaults to 512.
+	ResultCacheSize int
+	// LabCacheSize bounds the number of retained Labs — one per
+	// distinct fidelity, each holding a full fleet characterization.
+	// Defaults to 4.
+	LabCacheSize int
+	// Workers bounds concurrent Lab computations. Defaults to 2.
+	Workers int
+	// Metrics receives the server's instruments. Defaults to a fresh
+	// registry, retrievable via Metrics().
+	Metrics *metrics.Registry
+	// Log receives request-level errors. Defaults to the standard
+	// logger.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 512
+	}
+	if c.LabCacheSize <= 0 {
+		c.LabCacheSize = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// serverMetrics bundles every instrument the server records.
+type serverMetrics struct {
+	requests     *metrics.CounterVec // endpoint, code
+	latency      *metrics.HistogramVec
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	cacheEntries *metrics.Gauge
+	coalesced    *metrics.Counter
+	computations *metrics.Counter
+	inflight     *metrics.Gauge
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		requests: r.CounterVec("spec17d_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"endpoint", "code"),
+		latency: r.HistogramVec("spec17d_request_duration_seconds",
+			"HTTP request latency, by route pattern.",
+			nil, "endpoint"),
+		cacheHits: r.Counter("spec17d_cache_hits_total",
+			"Experiment requests answered from the result cache."),
+		cacheMisses: r.Counter("spec17d_cache_misses_total",
+			"Experiment requests that found no cached result."),
+		cacheEntries: r.Gauge("spec17d_cache_entries",
+			"Result-cache entries currently resident."),
+		coalesced: r.Counter("spec17d_coalesced_waiters_total",
+			"Requests that coalesced onto another request's in-flight computation."),
+		computations: r.Counter("spec17d_computations_total",
+			"Lab computations actually executed (cache misses that led the flight)."),
+		inflight: r.Gauge("spec17d_inflight_jobs",
+			"Lab computations currently running."),
+	}
+}
+
+// Server serves the experiment suite. Create with New; the zero value
+// is not usable.
+type Server struct {
+	cfg Config
+	met serverMetrics
+	mux *http.ServeMux
+
+	flight *group
+	sem    chan struct{} // worker-pool slots
+
+	mu      sync.Mutex
+	results *lru // cacheKey -> experiment result
+	labs    *lru // fidelity key -> *experiments.Lab
+
+	// compute produces one experiment (or reportID) result at the
+	// given fidelity. Overridden in tests to observe and control the
+	// computation path; the default runs the experiment registry on a
+	// cached Lab.
+	compute func(id string, opts machine.RunOptions) (any, error)
+	// computeStarted, when set (tests), is invoked by the flight
+	// leader right before compute.
+	computeStarted func(key string)
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New returns a Server ready to serve via Handler, Serve, or
+// ListenAndServe.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		met:     newServerMetrics(cfg.Metrics),
+		flight:  newGroup(),
+		sem:     make(chan struct{}, cfg.Workers),
+		results: newLRU(cfg.ResultCacheSize),
+		labs:    newLRU(cfg.LabCacheSize),
+	}
+	s.compute = s.runExperiment
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", s.handleCatalog))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/report", s.instrument("/v1/report", s.handleReport))
+	return s
+}
+
+// Metrics returns the registry holding the server's instruments.
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Handler returns the server's HTTP handler, for mounting in tests or
+// a caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after
+// a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	if err := srv.Serve(l); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown stops accepting new connections and blocks until in-flight
+// requests drain (or ctx expires). Safe to call before Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// cacheKey is the identity of one result: experiment id × canonical
+// run options. Requests spelling the same fidelity differently
+// (explicit defaults vs omitted) share a key.
+func cacheKey(id string, opts machine.RunOptions) string {
+	c := opts.Canonical()
+	return id + "?i=" + strconv.Itoa(c.Instructions) + "&w=" + strconv.Itoa(c.WarmupInstructions)
+}
+
+// labFor returns the Lab for one fidelity, creating and caching it on
+// first use. Labs build their fleet characterization lazily, so
+// creation is cheap; the LRU bound caps how many full
+// characterizations stay resident.
+func (s *Server) labFor(opts machine.RunOptions) *experiments.Lab {
+	key := cacheKey("", opts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.labs.get(key); ok {
+		return v.(*experiments.Lab)
+	}
+	lab := experiments.NewLab(opts.Canonical())
+	s.labs.put(key, lab)
+	return lab
+}
+
+// runExperiment is the default compute path: resolve the registry
+// entry (or the full report) and run it on the fidelity's shared Lab.
+func (s *Server) runExperiment(id string, opts machine.RunOptions) (any, error) {
+	lab := s.labFor(opts)
+	if id == reportID {
+		return experiments.BuildReport(lab)
+	}
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, experiments.UnknownIDError(id)
+	}
+	return d.Run(lab)
+}
+
+// fetch returns the result for (id, opts), serving from cache when
+// possible, coalescing concurrent misses for the same key onto one
+// computation, and bounding concurrent computations by the worker
+// pool.
+func (s *Server) fetch(id string, opts machine.RunOptions) (val any, cached, coalesced bool, err error) {
+	key := cacheKey(id, opts)
+	s.mu.Lock()
+	if v, ok := s.results.get(key); ok {
+		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		return v, true, false, nil
+	}
+	s.mu.Unlock()
+	s.met.cacheMisses.Inc()
+
+	val, err, joined := s.flight.do(key, func() (any, error) {
+		s.sem <- struct{}{} // acquire a worker slot
+		defer func() { <-s.sem }()
+		// A result may have landed while this flight queued behind
+		// the worker pool (e.g. an identical flight finished between
+		// our cache miss and our turn).
+		s.mu.Lock()
+		if v, ok := s.results.get(key); ok {
+			s.mu.Unlock()
+			return v, nil
+		}
+		s.mu.Unlock()
+
+		s.met.inflight.Inc()
+		defer s.met.inflight.Dec()
+		if s.computeStarted != nil {
+			s.computeStarted(key)
+		}
+		s.met.computations.Inc()
+		v, err := s.compute(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.results.put(key, v)
+		n := s.results.len()
+		s.mu.Unlock()
+		s.met.cacheEntries.Set(float64(n))
+		return v, nil
+	})
+	if joined {
+		s.met.coalesced.Inc()
+	}
+	return val, false, joined, err
+}
+
+// parseRunOptions extracts and validates ?instructions= and ?warmup=.
+// Unknown query parameters are rejected so typos fail loudly instead
+// of silently measuring at default fidelity.
+func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
+	var opts machine.RunOptions
+	q := r.URL.Query()
+	for k := range q {
+		if k != "instructions" && k != "warmup" {
+			return opts, fmt.Errorf("unknown query parameter %q (valid: instructions, warmup)", k)
+		}
+	}
+	if v := q.Get("instructions"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return opts, fmt.Errorf("instructions=%q: must be a positive integer", v)
+		}
+		if n > maxInstructions {
+			return opts, fmt.Errorf("instructions=%d exceeds the maximum %d", n, maxInstructions)
+		}
+		opts.Instructions = n
+	}
+	if v := q.Get("warmup"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("warmup=%q: must be a non-negative integer", v)
+		}
+		if n > maxInstructions {
+			return opts, fmt.Errorf("warmup=%d exceeds the maximum %d", n, maxInstructions)
+		}
+		opts.WarmupInstructions = n
+	}
+	return opts, nil
+}
+
+type errorBody struct {
+	Error string   `json:"error"`
+	Known []string `json:"known,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Metrics.WritePrometheus(w); err != nil {
+		s.cfg.Log.Printf("spec17d: writing /metrics: %v", err)
+	}
+}
+
+// catalogEntry is one row of the /v1/experiments listing.
+type catalogEntry struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Kind  string `json:"kind"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	descs := experiments.Registry()
+	entries := make([]catalogEntry, len(descs))
+	for i, d := range descs {
+		entries[i] = catalogEntry{ID: d.ID, Title: d.Title, Kind: d.Kind}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count       int            `json:"count"`
+		Experiments []catalogEntry `json:"experiments"`
+	}{len(entries), entries})
+}
+
+// experimentResponse is the /v1/experiments/{id} body.
+type experimentResponse struct {
+	ID           string `json:"id"`
+	Title        string `json:"title"`
+	Kind         string `json:"kind"`
+	Instructions int    `json:"instructions"`
+	Warmup       int    `json:"warmup"`
+	Cached       bool   `json:"cached"`
+	Coalesced    bool   `json:"coalesced,omitempty"`
+	Result       any    `json:"result"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error: experiments.UnknownIDError(id).Error(),
+			Known: experiments.SortedIDs(),
+		})
+		return
+	}
+	opts, err := parseRunOptions(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	val, cached, coalesced, err := s.fetch(id, opts)
+	if err != nil {
+		s.cfg.Log.Printf("spec17d: %s: %v", id, err)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	canon := opts.Canonical()
+	writeJSON(w, http.StatusOK, experimentResponse{
+		ID:           d.ID,
+		Title:        d.Title,
+		Kind:         d.Kind,
+		Instructions: canon.Instructions,
+		Warmup:       canon.WarmupInstructions,
+		Cached:       cached,
+		Coalesced:    coalesced,
+		Result:       val,
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseRunOptions(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	val, cached, coalesced, err := s.fetch(reportID, opts)
+	if err != nil {
+		s.cfg.Log.Printf("spec17d: report: %v", err)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	canon := opts.Canonical()
+	writeJSON(w, http.StatusOK, struct {
+		Instructions int  `json:"instructions"`
+		Warmup       int  `json:"warmup"`
+		Cached       bool `json:"cached"`
+		Coalesced    bool `json:"coalesced,omitempty"`
+		Report       any  `json:"report"`
+	}{canon.Instructions, canon.WarmupInstructions, cached, coalesced, val})
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// recording, labelled by route pattern (never by raw path, to keep
+// metric cardinality bounded).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.requests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		s.met.latency.With(endpoint).Observe(time.Since(start).Seconds())
+	}
+}

@@ -182,3 +182,22 @@ var (
 	RenderScatter = experiments.RenderScatter
 	RenderTable6  = experiments.RenderTable6
 )
+
+// ExperimentDescriptor names one experiment of the suite: stable id,
+// title, kind, and a runner producing its JSON-serializable result.
+type ExperimentDescriptor = experiments.Descriptor
+
+// The experiment registry — the stable ids shared by cmd/spec17's
+// -exp flag and the spec17d HTTP service.
+var (
+	// Experiments returns every experiment descriptor in
+	// presentation order.
+	Experiments = experiments.Registry
+	// ExperimentIDs returns every experiment id in presentation order.
+	ExperimentIDs = experiments.IDs
+	// LookupExperiment resolves one experiment id.
+	LookupExperiment = experiments.Lookup
+	// BuildReport runs every experiment into one JSON-serializable
+	// report.
+	BuildReport = experiments.BuildReport
+)
