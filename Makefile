@@ -8,11 +8,15 @@
 
 GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
-             ./internal/cluster/... ./internal/stats/...
+             ./internal/cluster/... ./internal/stats/... ./internal/store/...
 
-.PHONY: ci vet build test race race-all bench clean
+.PHONY: ci fmt-check vet build test race race-all bench clean
 
-ci: vet build test race
+ci: fmt-check vet build test race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -11,6 +11,7 @@ package repro
 // clustering, validation, coverage geometry) themselves.
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -50,7 +51,7 @@ func benchmarkCharacterize(b *testing.B, parallelism int) {
 	opts := RunOptions{Instructions: 20_000, WarmupInstructions: 4_000, Parallelism: parallelism}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Characterize(entries, fleet, opts); err != nil {
+		if _, err := Characterize(context.Background(), entries, fleet, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

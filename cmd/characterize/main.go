@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -55,8 +58,17 @@ func main() {
 		fatal(err)
 	}
 
+	opts := machine.RunOptions{Instructions: *instrs}
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C abandons the remaining measurements instead of hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Fprintf(os.Stderr, "characterizing %d workloads on %d machines...\n", len(entries), len(fleet))
-	char, err := core.Characterize(entries, fleet, machine.RunOptions{Instructions: *instrs})
+	char, err := core.Characterize(ctx, entries, fleet, opts)
 	if err != nil {
 		fatal(err)
 	}

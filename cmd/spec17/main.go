@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spec17 [-exp id[,id...]] [-instructions n] [-warmup n] [-width n]
+//	spec17 [-exp id[,id...]] [-instructions n] [-warmup n] [-width n] [-store file]
 //
 // Experiment ids: table1 table2 fig1 fig2 fig3 fig4 table5 fig5 fig6
 // table6 fig7 fig8 table7 ratespeed fig9 fig10 table8 fig11 fig12
@@ -27,46 +27,68 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/plot"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		instrs  = flag.Int("instructions", 400_000, "measured instructions per workload per machine")
-		warmup  = flag.Int("warmup", 0, "warmup instructions (default instructions/5)")
-		width   = flag.Int("width", 60, "plot width in columns")
-		jsonOut = flag.String("json", "", "write every experiment's result as JSON to this file ('-' = stdout) and exit")
-		svgDir  = flag.String("svg", "", "write the paper's figures as SVG files into this directory and exit")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		instrs    = flag.Int("instructions", 400_000, "measured instructions per workload per machine")
+		warmup    = flag.Int("warmup", 0, "warmup instructions (default instructions/5)")
+		parallel  = flag.Int("parallelism", 0, "max concurrent measurements (0 = GOMAXPROCS)")
+		width     = flag.Int("width", 60, "plot width in columns")
+		jsonOut   = flag.String("json", "", "write every experiment's result as JSON to this file ('-' = stdout) and exit")
+		svgDir    = flag.String("svg", "", "write the paper's figures as SVG files into this directory and exit")
+		storePath = flag.String("store", "", "measurement-store snapshot file: loaded before measuring, persisted on exit")
 	)
 	flag.Parse()
 
-	lab := experiments.NewLab(machine.RunOptions{
+	opts := machine.RunOptions{
 		Instructions:       *instrs,
 		WarmupInstructions: *warmup,
-	})
-
-	if *jsonOut != "" {
-		if err := writeJSONReport(lab, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		Parallelism:        *parallel,
 	}
-	if *svgDir != "" {
-		if err := writeSVGs(lab, *svgDir); err != nil {
-			fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
-			os.Exit(1)
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
+		os.Exit(2)
+	}
+
+	st, err := store.Open(store.Config{Path: *storePath})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spec17: warning: %v (starting cold)\n", err)
+	}
+	lab := experiments.NewLabWithStore(opts, st)
+
+	if err := run(lab, *exp, *width, *jsonOut, *svgDir); err != nil {
+		// Persist what was measured even on failure: the next run
+		// resumes from it.
+		if serr := st.Save(); serr != nil {
+			fmt.Fprintf(os.Stderr, "spec17: persisting store: %v\n", serr)
 		}
-		return
+		fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
+		os.Exit(1)
+	}
+	if err := st.Save(); err != nil {
+		fmt.Fprintf(os.Stderr, "spec17: persisting store: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(lab *experiments.Lab, exp string, width int, jsonOut, svgDir string) error {
+	if jsonOut != "" {
+		return writeJSONReport(lab, jsonOut)
+	}
+	if svgDir != "" {
+		return writeSVGs(lab, svgDir)
 	}
 
 	runners := textRunners()
 	var ids []string
-	if *exp == "all" {
+	if exp == "all" {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := experiments.Lookup(id); !ok {
 				fmt.Fprintf(os.Stderr, "spec17: unknown experiment %q\nvalid experiments:\n", id)
@@ -80,12 +102,12 @@ func main() {
 	}
 
 	for _, id := range ids {
-		if err := runners[id](lab, *width); err != nil {
-			fmt.Fprintf(os.Stderr, "spec17: %s: %v\n", id, err)
-			os.Exit(1)
+		if err := runners[id](lab, width); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println()
 	}
+	return nil
 }
 
 // textRunners maps every registry experiment id to its terminal

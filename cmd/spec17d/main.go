@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n]
+//	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n] [-store file]
 //
 // Endpoints:
 //
@@ -29,24 +29,41 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8417", "listen address")
-		cache   = flag.Int("cache", 512, "max cached experiment results (LRU)")
-		labs    = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
-		workers = flag.Int("workers", 2, "max concurrent lab computations")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr      = flag.String("addr", ":8417", "listen address")
+		cache     = flag.Int("cache", 512, "max cached experiment results (LRU)")
+		labs      = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
+		workers   = flag.Int("workers", 2, "max concurrent lab computations")
+		storePath = flag.String("store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on drain")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "spec17d: ", log.LstdFlags)
+
+	// One metrics registry carries both the server's and the store's
+	// instruments, so /metrics exposes spec17_store_* too.
+	reg := metrics.NewRegistry()
+	st, err := store.Open(store.Config{Path: *storePath, Metrics: reg, Log: logger})
+	if err != nil {
+		logger.Printf("warning: %v (starting cold)", err)
+	}
+	if *storePath != "" {
+		logger.Printf("measurement store %s: %d records loaded", *storePath, st.Len())
+	}
+
 	s := server.New(server.Config{
 		ResultCacheSize: *cache,
 		LabCacheSize:    *labs,
 		Workers:         *workers,
+		Store:           st,
+		Metrics:         reg,
 		Log:             logger,
 	})
 
@@ -73,12 +90,29 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := s.Shutdown(ctx); err != nil {
-		logger.Printf("shutdown: %v", err)
+	shutdownErr := s.Shutdown(ctx)
+	if err := saveStore(st, logger); err != nil {
+		logger.Printf("persisting store: %v", err)
+	}
+	if shutdownErr != nil {
+		logger.Printf("shutdown: %v", shutdownErr)
 		os.Exit(1)
 	}
 	if err := <-serveErr; err != nil {
 		logger.Fatalf("serve: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "spec17d: drained, bye")
+}
+
+// saveStore persists the measurement store after the drain, so every
+// measurement the process made warms the next one.
+func saveStore(st *store.Store, logger *log.Logger) error {
+	if st.Path() == "" {
+		return nil
+	}
+	if err := st.Save(); err != nil {
+		return err
+	}
+	logger.Printf("measurement store %s: %d records persisted", st.Path(), st.Len())
+	return nil
 }

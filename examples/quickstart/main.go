@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -41,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("measuring %d benchmarks on %d machines...\n\n", len(entries), len(fleet))
-	char, err := repro.Characterize(entries, fleet, repro.FastRunOptions())
+	char, err := repro.Characterize(context.Background(), entries, fleet, repro.FastRunOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

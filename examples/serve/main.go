@@ -1,6 +1,9 @@
-// Example serve: run the spec17d characterization service in-process,
-// query two experiments (plus a repeat), and show the cache doing its
-// job via the /metrics deltas.
+// Example serve: run the spec17d characterization service in-process
+// twice against one measurement-store snapshot, and show both caches
+// doing their jobs: the in-process result cache (the repeated request
+// is instant) and the persistent store (the restarted daemon's first
+// uncached request is a warm start — it re-runs the experiment's
+// analysis but simulates nothing).
 //
 //	go run ./examples/serve
 package main
@@ -14,15 +17,55 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
+// fidelity keeps the one-time fleet characterization quick; both
+// experiments and the repeat share one Lab and one cache.
+const fidelity = "instructions=2000"
+
 func main() {
-	s := server.New(server.Config{})
+	dir, err := os.MkdirTemp("", "spec17-serve-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapshot := filepath.Join(dir, "measurements.json")
+
+	fmt.Println("--- cold daemon (empty store) ---")
+	cold := runDaemon(snapshot)
+	fmt.Println("\n--- warm daemon (restarted on the persisted store) ---")
+	warm := runDaemon(snapshot)
+
+	fmt.Printf("\nwarm start: first /v1/experiments request %v -> %v (%.0fx faster), store misses %g -> %g\n",
+		cold.firstLatency.Round(time.Millisecond),
+		warm.firstLatency.Round(time.Millisecond),
+		float64(cold.firstLatency)/float64(warm.firstLatency),
+		cold.storeMisses, warm.storeMisses)
+}
+
+type daemonStats struct {
+	firstLatency time.Duration
+	storeMisses  float64
+}
+
+// runDaemon boots a server backed by the snapshot, queries two
+// experiments plus a repeat, persists the store, and shuts down —
+// one full daemon lifecycle.
+func runDaemon(snapshot string) daemonStats {
+	reg := metrics.NewRegistry()
+	st, err := store.Open(store.Config{Path: snapshot, Metrics: reg})
+	if err != nil {
+		log.Printf("warning: %v", err)
+	}
+	s := server.New(server.Config{Store: st, Metrics: reg})
 
 	// Random port: the kernel picks one, the example prints it.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -35,33 +78,37 @@ func main() {
 		}
 	}()
 	base := "http://" + l.Addr().String()
-	fmt.Printf("spec17d serving on %s\n\n", base)
+	fmt.Printf("spec17d serving on %s (store: %d records)\n", base, st.Len())
 
-	// Tiny fidelity keeps the one-time fleet characterization quick;
-	// both experiments and the repeat share one Lab and one cache.
-	const fidelity = "instructions=2000"
-	hits0 := metric(base, "spec17d_cache_hits_total")
-
-	for _, q := range []string{
+	var stats daemonStats
+	for i, q := range []string{
 		"/v1/experiments/table2?" + fidelity,
 		"/v1/experiments/ratespeed?" + fidelity,
-		"/v1/experiments/table2?" + fidelity, // repeat: served from cache
+		"/v1/experiments/table2?" + fidelity, // repeat: served from result cache
 	} {
 		start := time.Now()
 		cached, title := fetch(base + q)
+		elapsed := time.Since(start)
+		if i == 0 {
+			stats.firstLatency = elapsed
+		}
 		fmt.Printf("GET %-44s %8s cached=%v (%s)\n",
-			q, time.Since(start).Round(time.Millisecond), cached, title)
+			q, elapsed.Round(time.Millisecond), cached, title)
 	}
 
-	hits1 := metric(base, "spec17d_cache_hits_total")
-	fmt.Printf("\nspec17d_cache_hits_total: %g -> %g (delta %g)\n", hits0, hits1, hits1-hits0)
-	fmt.Printf("spec17d_computations_total: %g\n", metric(base, "spec17d_computations_total"))
+	stats.storeMisses = metric(base, "spec17_store_misses_total")
+	fmt.Printf("store: hits %g, misses (simulations) %g\n",
+		metric(base, "spec17_store_hits_total"), stats.storeMisses)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
+	if err := st.Save(); err != nil {
+		log.Fatal(err)
+	}
+	return stats
 }
 
 // fetch GETs one experiment and returns its cached flag and title.

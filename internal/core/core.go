@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Entry is one workload to characterize, with its display label.
@@ -41,7 +43,19 @@ type Characterization struct {
 // independent and fan out across a worker pool (opts.Parallelism
 // workers; 0 = GOMAXPROCS, 1 = serial); results are stored by
 // (label, machine) and are deterministic regardless of scheduling.
-func Characterize(entries []Entry, machines []*machine.Machine, opts machine.RunOptions) (*Characterization, error) {
+// Canceling ctx abandons the remaining measurements and returns the
+// context's error.
+func Characterize(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions) (*Characterization, error) {
+	return CharacterizeStored(ctx, entries, machines, opts, nil)
+}
+
+// CharacterizeStored is Characterize backed by a measurement store:
+// every (entry, machine) pair already in st is served from it, every
+// pair computed lands in it, and concurrent characterizations sharing
+// st never simulate the same pair twice. The substrate is
+// deterministic, so the result is bit-identical to a store-free run.
+// A nil store measures directly.
+func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store) (*Characterization, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no workloads to characterize")
 	}
@@ -94,7 +108,10 @@ func Characterize(entries []Entry, machines []*machine.Machine, opts machine.Run
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				rc, err := j.mach.Run(j.entry.Workload, opts)
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without measuring
+				}
+				rc, err := measure(ctx, st, j.mach, j.entry.Workload, opts)
 				var sample *counters.Sample
 				if err == nil {
 					sample, err = counters.FromRaw(j.mach.Name(), j.mach.Config().HasRAPL, rc)
@@ -112,17 +129,40 @@ func Characterize(entries []Entry, machines []*machine.Machine, opts machine.Run
 			}
 		}()
 	}
+feed:
 	for _, e := range entries {
 		for _, m := range machines {
-			jobs <- job{entry: e, mach: m}
+			select {
+			case jobs <- job{entry: e, mach: m}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return c, nil
+}
+
+// measure runs one (machine, workload) pair, through the store when
+// one is present so concurrent and repeated characterizations share
+// measurements.
+func measure(ctx context.Context, st *store.Store, m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
+	if st == nil {
+		return m.Run(w, opts)
+	}
+	return st.GetOrCompute(ctx, store.KeyFor(m, w, opts), func(fctx context.Context) (*machine.RawCounts, error) {
+		if err := fctx.Err(); err != nil {
+			return nil, err // every waiter left before the run began
+		}
+		return m.Run(w, opts)
+	})
 }
 
 // Sample returns the metric sample for one workload on one machine.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -52,7 +53,7 @@ func getFixture(t *testing.T) *Characterization {
 			}
 			entries = append(entries, Entry{Label: p.Name, Workload: p.Workload()})
 		}
-		fixture, fixtureErr = Characterize(entries, testMachines(t),
+		fixture, fixtureErr = Characterize(context.Background(), entries, testMachines(t),
 			machine.RunOptions{Instructions: 80_000, WarmupInstructions: 20_000})
 	})
 	if fixtureErr != nil {
@@ -83,22 +84,22 @@ func TestCharacterizeShape(t *testing.T) {
 
 func TestCharacterizeErrors(t *testing.T) {
 	ms := testMachines(t)
-	if _, err := Characterize(nil, ms, machine.RunOptions{}); err == nil {
+	if _, err := Characterize(context.Background(), nil, ms, machine.RunOptions{}); err == nil {
 		t.Fatal("no entries must error")
 	}
 	p, _ := workloads.ByName("505.mcf_r")
 	e := Entry{Label: "x", Workload: p.Workload()}
-	if _, err := Characterize([]Entry{e}, nil, machine.RunOptions{}); err == nil {
+	if _, err := Characterize(context.Background(), []Entry{e}, nil, machine.RunOptions{}); err == nil {
 		t.Fatal("no machines must error")
 	}
-	if _, err := Characterize([]Entry{e, e}, ms, machine.RunOptions{}); err == nil {
+	if _, err := Characterize(context.Background(), []Entry{e, e}, ms, machine.RunOptions{}); err == nil {
 		t.Fatal("duplicate labels must error")
 	}
-	if _, err := Characterize([]Entry{{Label: "", Workload: p.Workload()}}, ms, machine.RunOptions{}); err == nil {
+	if _, err := Characterize(context.Background(), []Entry{{Label: "", Workload: p.Workload()}}, ms, machine.RunOptions{}); err == nil {
 		t.Fatal("empty label must error")
 	}
 	bad := Entry{Label: "bad", Workload: machine.Workload{Key: "bad", ILP: 0}}
-	if _, err := Characterize([]Entry{bad}, ms, machine.RunOptions{Instructions: 1000}); err == nil {
+	if _, err := Characterize(context.Background(), []Entry{bad}, ms, machine.RunOptions{Instructions: 1000}); err == nil {
 		t.Fatal("invalid workload must surface an error")
 	}
 }
@@ -107,11 +108,11 @@ func TestCharacterizeDeterministicAcrossParallelism(t *testing.T) {
 	p, _ := workloads.ByName("541.leela_r")
 	entries := []Entry{{Label: p.Name, Workload: p.Workload()}}
 	opts := machine.RunOptions{Instructions: 30_000, WarmupInstructions: 5_000}
-	a, err := Characterize(entries, testMachines(t), opts)
+	a, err := Characterize(context.Background(), entries, testMachines(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Characterize(entries, testMachines(t), opts)
+	b, err := Characterize(context.Background(), entries, testMachines(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

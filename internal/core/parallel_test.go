@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestCharacterizeParallelDeterministic(t *testing.T) {
 	for _, par := range []int{1, 0, 16} {
 		opts := base
 		opts.Parallelism = par
-		c, err := Characterize(entries, fleet, opts)
+		c, err := Characterize(context.Background(), entries, fleet, opts)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}

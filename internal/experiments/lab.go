@@ -7,11 +7,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -23,20 +26,67 @@ import (
 // RunOptions.Parallelism) with deterministic results regardless of
 // scheduling, and Lab is safe for concurrent use — spec17d serves
 // many requests from one Lab.
+//
+// A Lab is a light handle over shared state, the way http.Request
+// carries its Context: WithContext returns a sibling handle whose
+// measurements abort when the context does, while the underlying
+// characterization stays shared. Backing the Lab with a
+// store.Store (NewLabWithStore) makes every measurement
+// content-addressed and persistent: overlapping labs never simulate
+// the same (machine, workload, options) pair twice, and a lab built
+// over a loaded snapshot is warm from its first experiment.
 type Lab struct {
-	opts machine.RunOptions
+	ctx   context.Context // nil means context.Background()
+	state *labState
+}
 
-	once  sync.Once
-	char  *core.Characterization
-	fleet []*machine.Machine
-	err   error
+// labState is the shared measurement state behind all handles of one
+// lab.
+type labState struct {
+	opts  machine.RunOptions
+	store *store.Store // nil: measure directly
+
+	mu       sync.Mutex
+	building chan struct{} // non-nil while one caller characterizes
+	done     bool
+	char     *core.Characterization
+	fleet    []*machine.Machine
+	err      error
 }
 
 // NewLab returns a Lab measuring with the given run options (zero
 // value = machine defaults: 400k measured instructions per run).
 func NewLab(opts machine.RunOptions) *Lab {
-	return &Lab{opts: opts}
+	return &Lab{state: &labState{opts: opts}}
 }
+
+// NewLabWithStore returns a Lab whose measurements go through st.
+// A nil store is equivalent to NewLab.
+func NewLabWithStore(opts machine.RunOptions, st *store.Store) *Lab {
+	return &Lab{state: &labState{opts: opts, store: st}}
+}
+
+// WithContext returns a handle on the same lab whose operations abort
+// when ctx is canceled. The underlying characterization is shared:
+// a result built through one handle serves every other.
+func (l *Lab) WithContext(ctx context.Context) *Lab {
+	return &Lab{ctx: ctx, state: l.state}
+}
+
+// Context returns the lab handle's context.
+func (l *Lab) Context() context.Context {
+	if l.ctx != nil {
+		return l.ctx
+	}
+	return context.Background()
+}
+
+// Store returns the lab's measurement store (nil when measuring
+// directly).
+func (l *Lab) Store() *store.Store { return l.state.store }
+
+// Options returns the lab's run options.
+func (l *Lab) Options() machine.RunOptions { return l.state.opts }
 
 var (
 	defaultLab     *Lab
@@ -71,29 +121,92 @@ func Entries() []core.Entry {
 	return entries
 }
 
-// build runs the fleet characterization once.
-func (l *Lab) build() {
-	l.once.Do(func() {
-		fleet, err := machine.Fleet()
-		if err != nil {
-			l.err = err
-			return
+// build runs the fleet characterization once, coalescing concurrent
+// callers onto one leader. A build aborted by the leader's context is
+// NOT cached as the lab's result — the next caller (or a waiter whose
+// own context is still live) takes over and rebuilds, cheaply when a
+// store holds the pairs the aborted build already measured.
+func (l *Lab) build() (*core.Characterization, []*machine.Machine, error) {
+	s := l.state
+	ctx := l.Context()
+	for {
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			return s.char, s.fleet, s.err
 		}
-		l.fleet = fleet
-		l.char, l.err = core.Characterize(Entries(), fleet, l.opts)
-	})
+		if s.building != nil {
+			ch := s.building
+			s.mu.Unlock()
+			select {
+			case <-ch:
+				continue // leader finished or aborted; re-check
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		s.building = ch
+		s.mu.Unlock()
+
+		fleet, err := machine.Fleet()
+		var char *core.Characterization
+		if err == nil {
+			char, err = core.CharacterizeStored(ctx, Entries(), fleet, s.opts, s.store)
+		}
+
+		s.mu.Lock()
+		s.building = nil
+		if err == nil || !isCanceled(err) {
+			s.done = true
+			s.char, s.fleet, s.err = char, fleet, err
+		}
+		s.mu.Unlock()
+		close(ch)
+		return char, fleet, err
+	}
+}
+
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Characterization returns the shared fleet characterization.
 func (l *Lab) Characterization() (*core.Characterization, error) {
-	l.build()
-	return l.char, l.err
+	char, _, err := l.build()
+	return char, err
 }
 
 // Fleet returns the seven Table IV machines.
 func (l *Lab) Fleet() ([]*machine.Machine, error) {
-	l.build()
-	return l.fleet, l.err
+	_, fleet, err := l.build()
+	return fleet, err
+}
+
+// RunStored measures one workload on one machine through the lab's
+// store (directly when the lab has none). Experiments that measure
+// outside the shared characterization — extra fidelities, replicas,
+// multi-copy runs — route through here so their measurements are
+// cached and persisted like everything else.
+func (l *Lab) RunStored(m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
+	st := l.state.store
+	if st == nil {
+		return m.Run(w, opts)
+	}
+	return st.GetOrCompute(l.Context(), store.KeyFor(m, w, opts), func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, opts)
+	})
+}
+
+// RunStoredMulti is RunStored for multi-copy (SPECrate-style) runs.
+func (l *Lab) RunStoredMulti(m *machine.Machine, w machine.Workload, copies int, opts machine.RunOptions) (*machine.MultiCounts, error) {
+	st := l.state.store
+	if st == nil {
+		return m.RunMulti(w, copies, opts)
+	}
+	return st.GetOrComputeMulti(l.Context(), store.KeyForMulti(m, w, copies, opts), func(context.Context) (*machine.MultiCounts, error) {
+		return m.RunMulti(w, copies, opts)
+	})
 }
 
 // suiteChar returns the characterization restricted to one CPU2017

@@ -62,7 +62,7 @@ func MeasurementNoise(lab *Lab, benchmarks []string, replicas int) ([]NoiseRow, 
 		for rep := 0; rep < replicas; rep++ {
 			w := p.Workload()
 			w.Key = fmt.Sprintf("%s#rep%d", w.Key, rep)
-			rc, err := sky.Run(w, opts)
+			rc, err := lab.RunStored(sky, w, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -63,14 +63,14 @@ func RateScaling(lab *Lab, benchmarks []string, copies []int) ([]RateScalingRow,
 		if err != nil {
 			return nil, err
 		}
-		single, err := sky.RunMulti(p.Workload(), 1, opts)
+		single, err := lab.RunStoredMulti(sky, p.Workload(), 1, opts)
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range copies {
 			mc := single
 			if n != 1 {
-				mc, err = sky.RunMulti(p.Workload(), n, opts)
+				mc, err = lab.RunStoredMulti(sky, p.Workload(), n, opts)
 				if err != nil {
 					return nil, err
 				}

@@ -168,6 +168,47 @@ func (o RunOptions) Canonical() RunOptions {
 	return o
 }
 
+// OptionError reports one invalid RunOptions field. It is the typed
+// error both the spec17 flag parser and the spec17d decode path
+// surface, so clients can distinguish which knob was wrong.
+type OptionError struct {
+	// Field is the option's user-facing name ("instructions",
+	// "warmup", "parallelism").
+	Field string
+	// Value is the rejected value.
+	Value int
+	// Reason says what a valid value looks like.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("machine: invalid %s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the options as given, before defaults are applied
+// (zero values are valid — they select the defaults). The warmup
+// bound is checked against the effective instruction count: warmup
+// must leave room to measure.
+func (o RunOptions) Validate() error {
+	if o.Instructions < 0 {
+		return &OptionError{Field: "instructions", Value: o.Instructions,
+			Reason: "instruction count cannot be negative"}
+	}
+	if o.WarmupInstructions < 0 {
+		return &OptionError{Field: "warmup", Value: o.WarmupInstructions,
+			Reason: "warmup instruction count cannot be negative"}
+	}
+	if o.Parallelism < 0 {
+		return &OptionError{Field: "parallelism", Value: o.Parallelism,
+			Reason: "worker count cannot be negative"}
+	}
+	if d := o.withDefaults(); o.WarmupInstructions >= d.Instructions {
+		return &OptionError{Field: "warmup", Value: o.WarmupInstructions,
+			Reason: fmt.Sprintf("warmup must be smaller than the %d measured instructions", d.Instructions)}
+	}
+	return nil
+}
+
 // Run measures one workload on the machine.
 func (m *Machine) Run(w Workload, opts RunOptions) (*RawCounts, error) {
 	if w.ILP <= 0 {

@@ -1,11 +1,19 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // group coalesces concurrent calls for the same key into one
-// execution — a minimal singleflight. The first caller for a key runs
-// fn; callers arriving while that flight is in progress block and
-// share its result instead of recomputing.
+// execution — a context-aware singleflight. The first caller for a
+// key starts fn on a flight-owned goroutine; callers arriving while
+// that flight is in progress block and share its result instead of
+// recomputing. Each caller waits under its own context: a canceled
+// caller stops waiting immediately, and when the *last* interested
+// caller departs the flight's context is canceled too, so a
+// computation nobody wants stops burning a worker.
 type group struct {
 	mu    sync.Mutex
 	calls map[string]*call
@@ -15,7 +23,9 @@ type call struct {
 	done    chan struct{}
 	val     any
 	err     error
-	waiters int // callers coalesced onto this flight, guarded by group.mu
+	refs    int // callers still interested, guarded by group.mu
+	waiters int // callers that coalesced onto this flight, guarded by group.mu
+	cancel  context.CancelFunc
 }
 
 func newGroup() *group {
@@ -23,27 +33,59 @@ func newGroup() *group {
 }
 
 // do runs fn once per concurrent set of callers with the same key.
-// joined reports whether this caller coalesced onto another caller's
-// in-progress flight (i.e. it did not execute fn itself).
-func (g *group) do(key string, fn func() (any, error)) (val any, err error, joined bool) {
-	g.mu.Lock()
-	if c, ok := g.calls[key]; ok {
-		c.waiters++
+// fn receives a context owned by the flight, canceled when every
+// caller has abandoned the wait. joined reports whether this caller
+// coalesced onto another caller's flight (i.e. it did not start fn
+// itself). A caller whose own ctx is canceled gets ctx.Err(); a live
+// caller that joined a flight killed by *other* callers' departure
+// retries with a fresh flight.
+func (g *group) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, joined bool) {
+	for {
+		joined = false
+		g.mu.Lock()
+		c, ok := g.calls[key]
+		if !ok {
+			fctx, cancel := context.WithCancel(context.Background())
+			c = &call{done: make(chan struct{}), cancel: cancel}
+			g.calls[key] = c
+			go func() {
+				v, err := fn(fctx)
+				g.mu.Lock()
+				delete(g.calls, key)
+				g.mu.Unlock()
+				c.val, c.err = v, err
+				close(c.done)
+				cancel()
+			}()
+		} else {
+			c.waiters++
+			joined = true
+		}
+		c.refs++
 		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err, true
+
+		select {
+		case <-c.done:
+			g.mu.Lock()
+			c.refs--
+			g.mu.Unlock()
+			if isContextErr(c.err) && ctx.Err() == nil {
+				// The flight died of other callers' cancellation just
+				// before this caller could observe it; this caller is
+				// still live, so lead a fresh flight.
+				continue
+			}
+			return c.val, c.err, joined
+		case <-ctx.Done():
+			g.mu.Lock()
+			c.refs--
+			if c.refs == 0 {
+				c.cancel() // last caller out: stop the computation
+			}
+			g.mu.Unlock()
+			return nil, ctx.Err(), joined
+		}
 	}
-	c := &call{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
-
-	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.val, c.err, false
 }
 
 // waiting reports how many callers have coalesced onto key's
@@ -57,4 +99,8 @@ func (g *group) waiting(key string) int {
 		return c.waiters
 	}
 	return 0
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

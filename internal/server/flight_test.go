@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,7 @@ func TestFlightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err, joined := g.do("k", func() (any, error) {
+			v, err, joined := g.do(context.Background(), "k", func(context.Context) (any, error) {
 				executions.Add(1)
 				<-release
 				return 42, nil
@@ -64,7 +65,7 @@ func TestFlightSequentialCallsRunSeparately(t *testing.T) {
 	g := newGroup()
 	var executions atomic.Int64
 	for i := 0; i < 3; i++ {
-		_, _, joined := g.do("k", func() (any, error) {
+		_, _, joined := g.do(context.Background(), "k", func(context.Context) (any, error) {
 			executions.Add(1)
 			return nil, nil
 		})
@@ -88,7 +89,7 @@ func TestFlightSharesError(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err, _ := g.do("k", func() (any, error) {
+			_, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) {
 				<-release
 				return nil, boom
 			})
@@ -110,8 +111,50 @@ func TestFlightSharesError(t *testing.T) {
 		}
 	}
 	// A failed flight is not cached anywhere: the next call executes.
-	_, _, joined := g.do("k", func() (any, error) { return nil, nil })
+	_, _, joined := g.do(context.Background(), "k", func(context.Context) (any, error) { return nil, nil })
 	if joined {
 		t.Error("call after failed flight joined a dead flight")
+	}
+}
+
+// TestFlightCancellation covers the context protocol: a caller whose
+// context dies stops waiting, the last departing caller cancels the
+// flight's context, and a live caller that joined a doomed flight
+// retries on a fresh one instead of inheriting the cancellation.
+func TestFlightCancellation(t *testing.T) {
+	g := newGroup()
+
+	// Lone caller cancels -> flight context canceled.
+	started := make(chan struct{})
+	flightCanceled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(ctx, "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done()
+			close(flightCanceled)
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-flightCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context not canceled after last caller left")
+	}
+
+	// A live caller arriving after the doomed flight's fate was sealed
+	// must still get a real result (retry path).
+	v, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("fresh call after canceled flight = %v, %v", v, err)
 	}
 }

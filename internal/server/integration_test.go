@@ -6,8 +6,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // TestRealLabCoalescingAndCache exercises the default compute path
@@ -80,5 +84,59 @@ func TestRealLabCoalescingAndCache(t *testing.T) {
 	}
 	if v := metricValue(t, ts, "spec17d_computations_total"); v != 2 {
 		t.Errorf("spec17d_computations_total = %v, want 2", v)
+	}
+}
+
+// TestWarmRestartServesWithoutSimulating is the warm-start invariant
+// end to end: a daemon backed by a persisted measurement store answers
+// its first /v1/report after a restart with zero new simulations, and
+// the report bytes are identical to the cold run's.
+func TestWarmRestartServesWithoutSimulating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two real fleet characterizations (~12s)")
+	}
+	snapshot := filepath.Join(t.TempDir(), "measurements.json")
+	const path = "/v1/report?instructions=2000"
+
+	// lifecycle boots a store-backed daemon, fetches one full report,
+	// persists the store, and returns the report plus store traffic.
+	lifecycle := func() (report []byte, hits, misses float64) {
+		reg := metrics.NewRegistry()
+		st, err := store.Open(store.Config{Path: snapshot, Metrics: reg})
+		if err != nil {
+			t.Fatalf("opening store: %v", err)
+		}
+		s := New(Config{Store: st, Metrics: reg})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("report status %d: %s", code, body)
+		}
+		hits = metricValue(t, ts, "spec17_store_hits_total")
+		misses = metricValue(t, ts, "spec17_store_misses_total")
+		if err := st.Save(); err != nil {
+			t.Fatalf("persisting store: %v", err)
+		}
+		return body, hits, misses
+	}
+
+	coldReport, _, coldMisses := lifecycle()
+	if coldMisses == 0 {
+		t.Fatal("cold daemon reported zero simulations — store not wired into the compute path")
+	}
+	warmReport, warmHits, warmMisses := lifecycle()
+
+	if warmMisses != 0 {
+		t.Errorf("warm restart simulated %g times, want 0", warmMisses)
+	}
+	if warmHits < coldMisses {
+		t.Errorf("warm hits = %g, want >= %g (every cold simulation replayed from the snapshot)",
+			warmHits, coldMisses)
+	}
+	if string(warmReport) != string(coldReport) {
+		t.Errorf("warm report differs from cold report (%d vs %d bytes) — determinism invariant broken",
+			len(warmReport), len(coldReport))
 	}
 }

@@ -24,17 +24,20 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // reportID is the internal cache identity of the full report; it is
@@ -58,6 +61,12 @@ type Config struct {
 	LabCacheSize int
 	// Workers bounds concurrent Lab computations. Defaults to 2.
 	Workers int
+	// Store, when set, backs every Lab the server builds: measurements
+	// are content-addressed, deduplicated across fidelities, and — when
+	// the store has a snapshot path — survive restarts, so a warm
+	// daemon answers its first report without simulating. Nil measures
+	// directly.
+	Store *store.Store
 	// Metrics receives the server's instruments. Defaults to a fresh
 	// registry, retrievable via Metrics().
 	Metrics *metrics.Registry
@@ -130,6 +139,12 @@ type Server struct {
 	flight *group
 	sem    chan struct{} // worker-pool slots
 
+	// draining is set once Shutdown begins; computation endpoints then
+	// answer 503 instead of starting work the drain deadline would
+	// abandon (keep-alive connections can still submit requests while
+	// the listener drains).
+	draining atomic.Bool
+
 	mu      sync.Mutex
 	results *lru // cacheKey -> experiment result
 	labs    *lru // fidelity key -> *experiments.Lab
@@ -137,8 +152,9 @@ type Server struct {
 	// compute produces one experiment (or reportID) result at the
 	// given fidelity. Overridden in tests to observe and control the
 	// computation path; the default runs the experiment registry on a
-	// cached Lab.
-	compute func(id string, opts machine.RunOptions) (any, error)
+	// cached Lab. The context is the flight's: canceled when every
+	// waiting request has disconnected.
+	compute func(ctx context.Context, id string, opts machine.RunOptions) (any, error)
 	// computeStarted, when set (tests), is invoked by the flight
 	// leader right before compute.
 	computeStarted func(key string)
@@ -203,8 +219,11 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown stops accepting new connections and blocks until in-flight
-// requests drain (or ctx expires). Safe to call before Serve.
+// requests drain (or ctx expires). Computation endpoints refuse new
+// work with 503/"draining" for the duration. Safe to call before
+// Serve.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -233,15 +252,16 @@ func (s *Server) labFor(opts machine.RunOptions) *experiments.Lab {
 	if v, ok := s.labs.get(key); ok {
 		return v.(*experiments.Lab)
 	}
-	lab := experiments.NewLab(opts.Canonical())
+	lab := experiments.NewLabWithStore(opts.Canonical(), s.cfg.Store)
 	s.labs.put(key, lab)
 	return lab
 }
 
 // runExperiment is the default compute path: resolve the registry
-// entry (or the full report) and run it on the fidelity's shared Lab.
-func (s *Server) runExperiment(id string, opts machine.RunOptions) (any, error) {
-	lab := s.labFor(opts)
+// entry (or the full report) and run it on the fidelity's shared Lab
+// under the flight's context.
+func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
+	lab := s.labFor(opts).WithContext(ctx)
 	if id == reportID {
 		return experiments.BuildReport(lab)
 	}
@@ -255,8 +275,9 @@ func (s *Server) runExperiment(id string, opts machine.RunOptions) (any, error) 
 // fetch returns the result for (id, opts), serving from cache when
 // possible, coalescing concurrent misses for the same key onto one
 // computation, and bounding concurrent computations by the worker
-// pool.
-func (s *Server) fetch(id string, opts machine.RunOptions) (val any, cached, coalesced bool, err error) {
+// pool. Canceling ctx abandons this caller's wait; a computation all
+// of whose callers have disconnected is itself canceled.
+func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) (val any, cached, coalesced bool, err error) {
 	key := cacheKey(id, opts)
 	s.mu.Lock()
 	if v, ok := s.results.get(key); ok {
@@ -267,8 +288,12 @@ func (s *Server) fetch(id string, opts machine.RunOptions) (val any, cached, coa
 	s.mu.Unlock()
 	s.met.cacheMisses.Inc()
 
-	val, err, joined := s.flight.do(key, func() (any, error) {
-		s.sem <- struct{}{} // acquire a worker slot
+	val, err, joined := s.flight.do(ctx, key, func(fctx context.Context) (any, error) {
+		select {
+		case s.sem <- struct{}{}: // acquire a worker slot
+		case <-fctx.Done():
+			return nil, fctx.Err() // every waiter left while queued
+		}
 		defer func() { <-s.sem }()
 		// A result may have landed while this flight queued behind
 		// the worker pool (e.g. an identical flight finished between
@@ -286,7 +311,7 @@ func (s *Server) fetch(id string, opts machine.RunOptions) (val any, cached, coa
 			s.computeStarted(key)
 		}
 		s.met.computations.Inc()
-		v, err := s.compute(id, opts)
+		v, err := s.compute(fctx, id, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -303,9 +328,10 @@ func (s *Server) fetch(id string, opts machine.RunOptions) (val any, cached, coa
 	return val, false, joined, err
 }
 
-// parseRunOptions extracts and validates ?instructions= and ?warmup=.
-// Unknown query parameters are rejected so typos fail loudly instead
-// of silently measuring at default fidelity.
+// parseRunOptions extracts ?instructions= and ?warmup= and validates
+// them through machine.RunOptions.Validate. Unknown query parameters
+// are rejected so typos fail loudly instead of silently measuring at
+// default fidelity.
 func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
 	var opts machine.RunOptions
 	q := r.URL.Query()
@@ -316,7 +342,7 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
 	}
 	if v := q.Get("instructions"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
+		if err != nil || n == 0 {
 			return opts, fmt.Errorf("instructions=%q: must be a positive integer", v)
 		}
 		if n > maxInstructions {
@@ -326,20 +352,74 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
 	}
 	if v := q.Get("warmup"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return opts, fmt.Errorf("warmup=%q: must be a non-negative integer", v)
+		if err != nil {
+			return opts, fmt.Errorf("warmup=%q: must be an integer", v)
 		}
 		if n > maxInstructions {
 			return opts, fmt.Errorf("warmup=%d exceeds the maximum %d", n, maxInstructions)
 		}
 		opts.WarmupInstructions = n
 	}
+	if err := opts.Validate(); err != nil {
+		return opts, err
+	}
 	return opts, nil
 }
 
-type errorBody struct {
-	Error string   `json:"error"`
+// Error-envelope codes. Every non-200 JSON response is
+// {"error":{"code","message"}} with one of these codes, so clients
+// switch on a stable string instead of parsing messages.
+const (
+	codeUnknownExperiment = "unknown_experiment"
+	codeBadOptions        = "bad_options"
+	codeDraining          = "draining"
+	codeCanceled          = "canceled"
+	codeInternal          = "internal"
+)
+
+// errorEnvelope is the uniform error response body.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Known lists the valid experiment ids on unknown_experiment.
 	Known []string `json:"known,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string, known []string) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:    code,
+		Message: message,
+		Known:   known,
+	}})
+}
+
+// writeComputeError maps a computation failure onto the envelope:
+// cancellations (the client has gone away, or the drain abandoned the
+// wait) get 499/canceled, everything else 500/internal.
+func (s *Server) writeComputeError(w http.ResponseWriter, what string, err error) {
+	s.cfg.Log.Printf("spec17d: %s: %v", what, err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// 499: the nginx "client closed request" convention; the
+		// client is usually gone, but keep the wire honest.
+		writeError(w, 499, codeCanceled, err.Error(), nil)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), nil)
+}
+
+// refuseDraining answers 503 when the server is shutting down.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, codeDraining,
+		"server is draining; retry against another instance", nil)
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -394,24 +474,24 @@ type experimentResponse struct {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	id := r.PathValue("id")
 	d, ok := experiments.Lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{
-			Error: experiments.UnknownIDError(id).Error(),
-			Known: experiments.SortedIDs(),
-		})
+		writeError(w, http.StatusNotFound, codeUnknownExperiment,
+			experiments.UnknownIDError(id).Error(), experiments.SortedIDs())
 		return
 	}
 	opts, err := parseRunOptions(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
-	val, cached, coalesced, err := s.fetch(id, opts)
+	val, cached, coalesced, err := s.fetch(r.Context(), id, opts)
 	if err != nil {
-		s.cfg.Log.Printf("spec17d: %s: %v", id, err)
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		s.writeComputeError(w, id, err)
 		return
 	}
 	canon := opts.Canonical()
@@ -428,15 +508,17 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	opts, err := parseRunOptions(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	if s.refuseDraining(w) {
 		return
 	}
-	val, cached, coalesced, err := s.fetch(reportID, opts)
+	opts, err := parseRunOptions(r)
 	if err != nil {
-		s.cfg.Log.Printf("spec17d: report: %v", err)
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts)
+	if err != nil {
+		s.writeComputeError(w, "report", err)
 		return
 	}
 	canon := opts.Canonical()

@@ -28,7 +28,7 @@ import (
 func newTestServer(cfg Config) (*Server, *atomic.Int64) {
 	s := New(cfg)
 	var computations atomic.Int64
-	s.compute = func(id string, opts machine.RunOptions) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions) (any, error) {
 		computations.Add(1)
 		c := opts.Canonical()
 		return map[string]any{"id": id, "instructions": c.Instructions}, nil
@@ -165,9 +165,9 @@ func TestCoalescing(t *testing.T) {
 	s, computations := newTestServer(Config{})
 	release := make(chan struct{})
 	inner := s.compute
-	s.compute = func(id string, opts machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
 		<-release
-		return inner(id, opts)
+		return inner(ctx, id, opts)
 	}
 	key := cacheKey("fig2", machine.RunOptions{Instructions: 5000})
 	s.computeStarted = func(k string) {
@@ -271,6 +271,8 @@ func TestBadParameters(t *testing.T) {
 		"/v1/experiments/table1?instructions=999999999999",
 		"/v1/experiments/table1?warmup=xyz",
 		"/v1/experiments/table1?warmup=-1",
+		"/v1/experiments/table1?instructions=5000&warmup=5000", // warmup >= instructions
+		"/v1/experiments/table1?warmup=400000",                 // >= default instructions
 		"/v1/experiments/table1?fidelity=high",
 		"/v1/report?instructions=abc",
 	} {
@@ -278,9 +280,12 @@ func TestBadParameters(t *testing.T) {
 		if code != http.StatusBadRequest {
 			t.Errorf("GET %s: status %d, want 400", path, code)
 		}
-		var e errorBody
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Errorf("GET %s: body %q is not an error document", path, body)
+		var e errorEnvelope
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
+			t.Errorf("GET %s: body %q is not an error envelope", path, body)
+		}
+		if e.Error.Code != codeBadOptions {
+			t.Errorf("GET %s: error code %q, want %q", path, e.Error.Code, codeBadOptions)
 		}
 	}
 	if n := computations.Load(); n != 0 {
@@ -297,21 +302,117 @@ func TestUnknownExperiment404(t *testing.T) {
 	if code != http.StatusNotFound {
 		t.Fatalf("status %d, want 404", code)
 	}
-	var e errorBody
+	var e errorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(e.Error, `"zzz"`) {
-		t.Errorf("error %q does not name the unknown id", e.Error)
+	if e.Error.Code != codeUnknownExperiment {
+		t.Errorf("error code %q, want %q", e.Error.Code, codeUnknownExperiment)
+	}
+	if !strings.Contains(e.Error.Message, `"zzz"`) {
+		t.Errorf("error %q does not name the unknown id", e.Error.Message)
 	}
 	want := experiments.SortedIDs()
-	if len(e.Known) != len(want) {
-		t.Fatalf("known has %d ids, want %d", len(e.Known), len(want))
+	if len(e.Error.Known) != len(want) {
+		t.Fatalf("known has %d ids, want %d", len(e.Error.Known), len(want))
 	}
 	for i := range want {
-		if e.Known[i] != want[i] {
-			t.Errorf("known[%d] = %q, want %q", i, e.Known[i], want[i])
+		if e.Error.Known[i] != want[i] {
+			t.Errorf("known[%d] = %q, want %q", i, e.Error.Known[i], want[i])
 		}
+	}
+}
+
+// TestClientDisconnectCancelsComputation verifies the context plumbing
+// end to end inside the handler stack: when the only client waiting on
+// a computation disconnects, the compute function's context is
+// canceled, so the simulation stops burning a worker.
+func TestClientDisconnectCancelsComputation(t *testing.T) {
+	s, _ := newTestServer(Config{})
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			close(canceled)
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("computation context never canceled")
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/experiments/table1?instructions=5000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	<-started
+	cancel() // the lone client goes away
+
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context not canceled after client disconnect")
+	}
+	if err := <-errc; err == nil {
+		t.Error("canceled request unexpectedly succeeded")
+	}
+
+	// The aborted flight must not poison the key: the next request
+	// computes fresh and succeeds.
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions) (any, error) {
+		return map[string]any{"id": id}, nil
+	}
+	if code, body := get(t, ts, "/v1/experiments/table1?instructions=5000"); code != http.StatusOK {
+		t.Errorf("request after canceled flight: status %d: %s", code, body)
+	}
+}
+
+// TestDraining503 verifies that once Shutdown has begun, computation
+// endpoints refuse new work with the draining envelope (keep-alive
+// connections can still deliver requests mid-drain).
+func TestDraining503(t *testing.T) {
+	s, computations := newTestServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.draining.Store(true) // what Shutdown sets before draining
+
+	for _, path := range []string{
+		"/v1/experiments/table1?instructions=5000",
+		"/v1/report",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s: status %d, want 503", path, code)
+		}
+		var e errorEnvelope
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != codeDraining {
+			t.Errorf("GET %s: body %q, want a %q envelope", path, body, codeDraining)
+		}
+	}
+	if n := computations.Load(); n != 0 {
+		t.Errorf("draining server still ran %d computations", n)
+	}
+	// Liveness endpoints keep answering so orchestrators can watch the
+	// drain.
+	if code, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during drain: status %d", code)
+	}
+	if code, _ := get(t, ts, "/metrics"); code != http.StatusOK {
+		t.Errorf("metrics during drain: status %d", code)
 	}
 }
 
@@ -319,9 +420,9 @@ func TestReportEndpoint(t *testing.T) {
 	s, computations := newTestServer(Config{})
 	var gotID string
 	inner := s.compute
-	s.compute = func(id string, opts machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
 		gotID = id
-		return inner(id, opts)
+		return inner(ctx, id, opts)
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -382,7 +483,7 @@ func TestLRUEviction(t *testing.T) {
 func TestWorkerPoolBound(t *testing.T) {
 	s, _ := newTestServer(Config{Workers: 1})
 	var inflight, maxInflight atomic.Int64
-	s.compute = func(id string, opts machine.RunOptions) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions) (any, error) {
 		n := inflight.Add(1)
 		for {
 			m := maxInflight.Load()
@@ -423,10 +524,10 @@ func TestGracefulShutdown(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	inner := s.compute
-	s.compute = func(id string, opts machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
 		close(started)
 		<-release
-		return inner(id, opts)
+		return inner(ctx, id, opts)
 	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,443 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func testMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.SkylakeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testWorkload(t *testing.T, name string) machine.Workload {
+	t.Helper()
+	p, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Workload()
+}
+
+var testOpts = machine.RunOptions{Instructions: 5_000, WarmupInstructions: 1_000}
+
+func TestKeyIdentity(t *testing.T) {
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+
+	a := KeyFor(m, w, testOpts)
+	// The same fidelity spelled differently (defaults explicit vs
+	// implied, scheduling knobs set) canonicalizes to the same key.
+	b := KeyFor(m, w, machine.RunOptions{Instructions: 5_000, WarmupInstructions: 1_000, Parallelism: 7})
+	if a != b {
+		t.Errorf("keys differ across canonical-equal options:\n%+v\n%+v", a, b)
+	}
+
+	// A different workload, fidelity, or copy count is a different key.
+	if c := KeyFor(m, testWorkload(t, "541.leela_r"), testOpts); c.id() == a.id() {
+		t.Error("different workloads share a key")
+	}
+	if c := KeyFor(m, w, machine.RunOptions{Instructions: 6_000}); c.id() == a.id() {
+		t.Error("different fidelities share a key")
+	}
+	if c := KeyForMulti(m, w, 4, testOpts); c.id() == a.id() {
+		t.Error("multi-copy and single-copy share a key")
+	}
+
+	// A changed machine configuration changes the content hash even
+	// under the same machine name — the stale-profile guard.
+	cfg := machine.SkylakeConfig()
+	cfg.IssueWidth++
+	m2, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := KeyFor(m2, w, testOpts)
+	if c.Content == a.Content {
+		t.Error("changed machine config kept the same content hash")
+	}
+}
+
+func TestGetOrComputeCachesAndCoalesces(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+	key := KeyFor(m, w, testOpts)
+
+	var computes atomic.Int64
+	compute := func(context.Context) (*machine.RawCounts, error) {
+		computes.Add(1)
+		return m.Run(w, testOpts)
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*machine.RawCounts, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc, err := s.GetOrCompute(context.Background(), key, compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = rc
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (coalesced)", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different record pointer", i)
+		}
+	}
+
+	// Sequential repeat: memory hit, no compute.
+	if _, err := s.GetOrCompute(context.Background(), key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes after repeat = %d, want 1", n)
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	// Coalesced joiners are neither hits nor misses; the sequential
+	// repeat above is a guaranteed memory hit.
+	if st.Hits < 1 {
+		t.Errorf("hits = %d, want >= 1", st.Hits)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	s1, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+
+	// One single-copy and one multi-copy record.
+	w := testWorkload(t, "505.mcf_r")
+	key := KeyFor(m, w, testOpts)
+	rc, err := s1.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, testOpts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkey := KeyForMulti(m, w, 4, testOpts)
+	mc, err := s1.GetOrComputeMulti(context.Background(), mkey, func(context.Context) (*machine.MultiCounts, error) {
+		return m.RunMulti(w, 4, testOpts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatalf("reloading snapshot: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reloaded %d records, want 2", s2.Len())
+	}
+	if s2.Stats().Loaded != 2 {
+		t.Errorf("loaded counter = %d, want 2", s2.Stats().Loaded)
+	}
+	got, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("single record missing after reload")
+	}
+	// Bit-identical: every counter and float64 survives the JSON
+	// round trip exactly.
+	if *got != *rc {
+		t.Errorf("reloaded record differs:\n got %+v\nwant %+v", got, rc)
+	}
+	var computes atomic.Int64
+	mc2, err := s2.GetOrComputeMulti(context.Background(), mkey, func(context.Context) (*machine.MultiCounts, error) {
+		computes.Add(1)
+		return m.RunMulti(w, 4, testOpts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 0 {
+		t.Error("multi record recomputed despite snapshot")
+	}
+	if mc2.Throughput != mc.Throughput || len(mc2.PerCopy) != len(mc.PerCopy) {
+		t.Errorf("reloaded multi record differs: %+v vs %+v", mc2, mc)
+	}
+	for i := range mc.PerCopy {
+		if *mc2.PerCopy[i] != *mc.PerCopy[i] {
+			t.Errorf("reloaded multi per-copy %d differs", i)
+		}
+	}
+}
+
+// TestSnapshotDefectsDegradeToRecompute covers the robustness matrix:
+// every way a snapshot can be bad yields a usable empty store plus an
+// advisory error — never a hard failure, never stale data.
+func TestSnapshotDefectsDegradeToRecompute(t *testing.T) {
+	dir := t.TempDir()
+
+	// A valid snapshot to corrupt.
+	path := filepath.Join(dir, "valid.json")
+	s, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+	key := KeyFor(m, w, testOpts)
+	if _, err := s.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, testOpts)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		content []byte
+	}{
+		{"corrupted", []byte(`{"version": 1, "fingerprint": ` + "\x00" + `garbage`)},
+		{"truncated", valid[:len(valid)/2]},
+		{"empty", nil},
+		{"version-mismatch", mutateSnapshot(t, valid, func(m map[string]any) { m["version"] = 999 })},
+		{"fingerprint-mismatch", mutateSnapshot(t, valid, func(m map[string]any) { m["fingerprint"] = "other-substrate" })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(p, tc.content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Open(Config{Path: p})
+			if err == nil {
+				t.Error("defective snapshot loaded without an advisory error")
+			}
+			if st == nil {
+				t.Fatal("Open returned a nil store")
+			}
+			if st.Len() != 0 {
+				t.Errorf("defective snapshot yielded %d records, want 0", st.Len())
+			}
+			// The store recomputes and carries on.
+			rc, err := st.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+				return m.Run(w, testOpts)
+			})
+			if err != nil || rc == nil {
+				t.Fatalf("recompute after defective snapshot: %v", err)
+			}
+			if st.Stats().Misses != 1 {
+				t.Errorf("misses = %d, want 1 (recompute)", st.Stats().Misses)
+			}
+		})
+	}
+
+	// A missing file is a cold start, not a defect.
+	if _, err := Open(Config{Path: filepath.Join(dir, "nope.json")}); err != nil {
+		t.Errorf("missing snapshot produced error: %v", err)
+	}
+}
+
+func mutateSnapshot(t *testing.T, data []byte, mutate func(map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	s, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+	if _, err := s.GetOrCompute(context.Background(), KeyFor(m, w, testOpts), func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, testOpts)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(); err != nil { // second save overwrites atomically
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".spec17-store-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if s.Stats().Persisted != 2 {
+		t.Errorf("persisted = %d, want 2 (1 record x 2 saves)", s.Stats().Persisted)
+	}
+}
+
+// TestConcurrentAccess hammers Get/Put/GetOrCompute/Save from many
+// goroutines; run under -race (the Makefile includes this package in
+// RACE_PKGS).
+func TestConcurrentAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	s, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	names := []string{"505.mcf_r", "541.leela_r", "525.x264_r", "549.fotonik3d_r"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		for _, name := range names {
+			w := testWorkload(t, name)
+			key := KeyFor(m, w, testOpts)
+			wg.Add(3)
+			go func() {
+				defer wg.Done()
+				if _, err := s.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+					return m.Run(w, testOpts)
+				}); err != nil {
+					t.Error(err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				s.Get(key)
+				s.Len()
+				s.Stats()
+			}()
+			go func() {
+				defer wg.Done()
+				if err := s.Save(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if s.Len() != len(names) {
+		t.Errorf("entries = %d, want %d", s.Len(), len(names))
+	}
+	if n := s.Stats().Misses; n != int64(len(names)) {
+		t.Errorf("misses = %d, want %d (one compute per key)", n, len(names))
+	}
+}
+
+// TestGetOrComputeCancellation covers the context protocol: a canceled
+// caller returns promptly, the last departing caller cancels the
+// compute context, and a later live caller recomputes successfully.
+func TestGetOrComputeCancellation(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+	key := KeyFor(m, w, testOpts)
+
+	started := make(chan struct{})
+	computeCanceled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.GetOrCompute(ctx, key, func(fctx context.Context) (*machine.RawCounts, error) {
+			close(started)
+			<-fctx.Done()
+			close(computeCanceled)
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error = %v, want context.Canceled", err)
+	}
+	<-computeCanceled
+
+	// The canceled flight left nothing behind; a live caller computes.
+	rc, err := s.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, testOpts)
+	})
+	if err != nil || rc == nil {
+		t.Fatalf("compute after canceled flight: %v", err)
+	}
+}
+
+// TestComputeErrorNotCached checks that a failed computation is not
+// stored: the next caller retries.
+func TestComputeErrorNotCached(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t)
+	w := testWorkload(t, "505.mcf_r")
+	key := KeyFor(m, w, testOpts)
+
+	boom := fmt.Errorf("boom")
+	if _, err := s.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed computation was stored")
+	}
+	rc, err := s.GetOrCompute(context.Background(), key, func(context.Context) (*machine.RawCounts, error) {
+		return m.Run(w, testOpts)
+	})
+	if err != nil || rc == nil {
+		t.Fatalf("retry after failed computation: %v", err)
+	}
+}

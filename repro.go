@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -52,6 +53,27 @@ type RunOptions = machine.RunOptions
 // NewLab returns a Lab measuring at the given fidelity. The zero
 // options give the default 400k measured instructions per run.
 func NewLab(opts RunOptions) *Lab { return experiments.NewLab(opts) }
+
+// Store is a content-addressed, persistent measurement store. Labs
+// backed by one (NewLabWithStore) never measure the same (machine,
+// workload, options) pair twice — in one process or, with a snapshot
+// path, across processes ("warm starts"). See docs/STORE.md.
+type Store = store.Store
+
+// StoreConfig configures a Store; the zero value is memory-only.
+type StoreConfig = store.Config
+
+// OpenStore opens a measurement store, loading the snapshot at
+// cfg.Path when one exists. The returned error is advisory: it
+// describes a discarded (corrupt or incompatible) snapshot, and the
+// Store is always usable.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
+
+// NewLabWithStore returns a Lab whose measurements are cached in (and
+// served from) st. Results are bit-identical to a store-free Lab.
+func NewLabWithStore(opts RunOptions, st *Store) *Lab {
+	return experiments.NewLabWithStore(opts, st)
+}
 
 // DefaultLab returns the shared, default-fidelity Lab.
 func DefaultLab() *Lab { return experiments.DefaultLab() }

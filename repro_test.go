@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestPublicPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	char, err := Characterize([]Entry{
+	char, err := Characterize(context.Background(), []Entry{
 		{Label: p1.Name, Workload: p1.Workload()},
 		{Label: p2.Name, Workload: p2.Workload()},
 		{Label: p3.Name, Workload: p3.Workload()},
