@@ -8,7 +8,8 @@
 
 GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
-             ./internal/cluster/... ./internal/stats/... ./internal/store/...
+             ./internal/cluster/... ./internal/stats/... ./internal/store/... \
+             ./internal/sched/...
 
 .PHONY: ci fmt-check vet build test race race-all bench clean
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/plot"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
@@ -58,7 +59,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spec17: warning: %v (starting cold)\n", err)
 	}
-	lab := experiments.NewLabWithStore(opts, st)
+	// One scheduler bounds every simulation the process runs —
+	// including the out-of-characterization measurements (sensitivity
+	// sweeps, replicas, multi-copy runs) the per-characterization
+	// parallelism option never covered.
+	pool := sched.NewPool(*parallel, nil)
+	lab := experiments.NewLabWithSched(opts, st, pool.Queue(0))
 
 	if err := run(lab, *exp, *width, *jsonOut, *svgDir); err != nil {
 		// Persist what was measured even on failure: the next run

@@ -1,19 +1,24 @@
 // Command spec17d serves the reproduction's experiment suite over
 // HTTP/JSON — the batch spec17 CLI turned into a long-running
 // characterization service with result caching, request coalescing,
-// and Prometheus metrics.
+// batch streaming, and Prometheus metrics.
 //
 // Usage:
 //
-//	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n] [-store file]
+//	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n]
+//	        [-sim-workers n] [-batch-concurrency n]
+//	        [-store file] [-checkpoint d] [-drain d]
+//	        [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]
 //
 // Endpoints:
 //
-//	GET /v1/experiments                  catalog of experiment ids
-//	GET /v1/experiments/{id}?instructions=N&warmup=M
-//	GET /v1/report?instructions=N&warmup=M
-//	GET /healthz
-//	GET /metrics                         Prometheus text format
+//	GET  /v1/experiments                  catalog of experiment ids
+//	GET  /v1/experiments/{id}?instructions=N&warmup=M
+//	GET  /v1/report?instructions=N&warmup=M
+//	GET  /v1/batch?experiments=a,b,c      NDJSON result stream
+//	POST /v1/batch                        same, JSON body
+//	GET  /healthz
+//	GET  /metrics                         Prometheus text format
 //
 // See docs/SERVER.md for endpoint, caching, and metrics details.
 package main
@@ -36,19 +41,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8417", "listen address")
-		cache     = flag.Int("cache", 512, "max cached experiment results (LRU)")
-		labs      = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
-		workers   = flag.Int("workers", 2, "max concurrent lab computations")
-		storePath = flag.String("store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on drain")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr       = flag.String("addr", ":8417", "listen address")
+		cache      = flag.Int("cache", 512, "max cached experiment results (LRU)")
+		labs       = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
+		workers    = flag.Int("workers", 2, "max concurrent lab computations")
+		simWorkers = flag.Int("sim-workers", 0, "max concurrent leaf simulations across all labs (0 = GOMAXPROCS)")
+		batchConc  = flag.Int("batch-concurrency", 4, "max experiments one batch request evaluates at once")
+		storePath  = flag.String("store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on shutdown")
+		checkpoint = flag.Duration("checkpoint", 0, "background store-checkpoint interval (0 disables; requires -store)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		readHdrTO  = flag.Duration("read-header-timeout", 10*time.Second, "max time for a connection to send its request headers")
+		readTO     = flag.Duration("read-timeout", 0, "max time to read an entire request (0 disables; nonzero also cuts long batch streams)")
+		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "spec17d: ", log.LstdFlags)
 
-	// One metrics registry carries both the server's and the store's
-	// instruments, so /metrics exposes spec17_store_* too.
+	// One metrics registry carries the server's, scheduler's, and
+	// store's instruments, so /metrics exposes spec17_store_* and
+	// spec17_sched_* too.
 	reg := metrics.NewRegistry()
 	st, err := store.Open(store.Config{Path: *storePath, Metrics: reg, Log: logger})
 	if err != nil {
@@ -57,14 +69,28 @@ func main() {
 	if *storePath != "" {
 		logger.Printf("measurement store %s: %d records loaded", *storePath, st.Len())
 	}
+	if *checkpoint > 0 {
+		if *storePath == "" {
+			logger.Printf("warning: -checkpoint without -store has nothing to persist")
+		} else {
+			stop := st.StartCheckpointing(*checkpoint)
+			defer stop()
+			logger.Printf("checkpointing store every %v", *checkpoint)
+		}
+	}
 
 	s := server.New(server.Config{
-		ResultCacheSize: *cache,
-		LabCacheSize:    *labs,
-		Workers:         *workers,
-		Store:           st,
-		Metrics:         reg,
-		Log:             logger,
+		ResultCacheSize:   *cache,
+		LabCacheSize:      *labs,
+		Workers:           *workers,
+		SimWorkers:        *simWorkers,
+		BatchConcurrency:  *batchConc,
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+		Store:             st,
+		Metrics:           reg,
+		Log:               logger,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -81,16 +107,37 @@ func main() {
 	select {
 	case err := <-serveErr:
 		if err != nil {
+			// The listener died out from under us; persist what the
+			// process measured before giving up.
+			if serr := saveStore(st, logger); serr != nil {
+				logger.Printf("persisting store: %v", serr)
+			}
 			logger.Fatalf("serve: %v", err)
 		}
 		return
 	case got := <-sig:
-		logger.Printf("received %v, draining for up to %v", got, *drain)
+		logger.Printf("received %v, draining for up to %v (signal again to force)", got, *drain)
 	}
 
+	// Drain in the background; a second signal cuts it short with a
+	// best-effort store save and an immediate close.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	shutdownErr := s.Shutdown(ctx)
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(ctx) }()
+
+	var shutdownErr error
+	select {
+	case shutdownErr = <-shutdownDone:
+	case got := <-sig:
+		logger.Printf("received %v during drain, forcing shutdown", got)
+		if err := saveStore(st, logger); err != nil {
+			logger.Printf("persisting store: %v", err)
+		}
+		_ = s.Close()
+		os.Exit(1)
+	}
+
 	if err := saveStore(st, logger); err != nil {
 		logger.Printf("persisting store: %v", err)
 	}

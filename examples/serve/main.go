@@ -96,9 +96,16 @@ func runDaemon(snapshot string) daemonStats {
 			q, elapsed.Round(time.Millisecond), cached, title)
 	}
 
+	// Batch streaming: several experiments over one connection, each
+	// result arriving as its own NDJSON line the moment it completes.
+	batch := "/v1/batch?experiments=table2,ratespeed,table7&" + fidelity
+	fmt.Printf("GET %s\n", batch)
+	streamBatch(base + batch)
+
 	stats.storeMisses = metric(base, "spec17_store_misses_total")
-	fmt.Printf("store: hits %g, misses (simulations) %g\n",
-		metric(base, "spec17_store_hits_total"), stats.storeMisses)
+	fmt.Printf("store: hits %g, misses (simulations) %g, sched dedup hits %g\n",
+		metric(base, "spec17_store_hits_total"), stats.storeMisses,
+		metric(base, "spec17_sched_dedup_hits_total"))
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -109,6 +116,38 @@ func runDaemon(snapshot string) daemonStats {
 		log.Fatal(err)
 	}
 	return stats
+}
+
+// streamBatch reads a batch's NDJSON stream line by line, printing
+// each experiment as it lands.
+func streamBatch(url string) {
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // result lines can be large
+	for sc.Scan() {
+		var line struct {
+			ID        string `json:"id"`
+			Status    string `json:"status"`
+			Cached    bool   `json:"cached"`
+			ElapsedMS int64  `json:"elapsed_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		fmt.Printf("  %8s  %-12s %s cached=%v (item %dms)\n",
+			time.Since(start).Round(time.Millisecond), line.ID, line.Status, line.Cached, line.ElapsedMS)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // fetch GETs one experiment and returns its cached flag and title.

@@ -39,6 +39,15 @@ type Characterization struct {
 	raw     map[string]map[string]*machine.RawCounts // label -> machine -> raw counts
 }
 
+// Runner schedules one keyed measurement. Implementations may bound
+// concurrency, impose queueing policy, and deduplicate concurrent
+// submissions by key (*sched.Queue is the canonical one). The fn
+// passed to Do runs under a Runner-owned context; the caller's ctx
+// only aborts its own wait.
+type Runner interface {
+	Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error)
+}
+
 // Characterize measures every entry on every machine. Runs are
 // independent and fan out across a worker pool (opts.Parallelism
 // workers; 0 = GOMAXPROCS, 1 = serial); results are stored by
@@ -49,13 +58,74 @@ func Characterize(ctx context.Context, entries []Entry, machines []*machine.Mach
 	return CharacterizeStored(ctx, entries, machines, opts, nil)
 }
 
-// CharacterizeStored is Characterize backed by a measurement store:
-// every (entry, machine) pair already in st is served from it, every
-// pair computed lands in it, and concurrent characterizations sharing
-// st never simulate the same pair twice. The substrate is
-// deterministic, so the result is bit-identical to a store-free run.
-// A nil store measures directly.
-func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store) (*Characterization, error) {
+// CharacterizeScheduled is CharacterizeStored with the per-call
+// worker pool replaced by a shared Runner: every (entry, machine)
+// measurement is submitted to r under the store key's identity, so
+// concurrent characterizations sharing one scheduler — two batches
+// whose experiment sets overlap, two labs at the same fidelity —
+// deduplicate in-flight simulations and queue with global FIFO
+// fairness instead of oversubscribing the host. Results are
+// bit-identical to the unscheduled path. A nil Runner falls back to
+// CharacterizeStored.
+func CharacterizeScheduled(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store, r Runner) (*Characterization, error) {
+	if r == nil {
+		return CharacterizeStored(ctx, entries, machines, opts, st)
+	}
+	c, err := newCharacterization(entries, machines)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, e := range entries {
+		for _, m := range machines {
+			if ctx.Err() != nil {
+				break // canceled: stop submitting
+			}
+			e, m := e, m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				key := store.KeyFor(m, e.Workload, opts)
+				v, err := r.Do(ctx, key.ID(), func(jctx context.Context) (any, error) {
+					return measure(jctx, st, m, e.Workload, opts)
+				})
+				var rc *machine.RawCounts
+				var sample *counters.Sample
+				if err == nil {
+					rc = v.(*machine.RawCounts)
+					sample, err = counters.FromRaw(m.Name(), m.Config().HasRAPL, rc)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: %s on %s: %w", e.Label, m.Name(), err)
+					}
+				} else {
+					c.samples[e.Label][m.Name()] = sample
+					c.raw[e.Label][m.Name()] = rc
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return c, nil
+}
+
+// newCharacterization validates the inputs and allocates the empty
+// result maps shared by both measurement paths.
+func newCharacterization(entries []Entry, machines []*machine.Machine) (*Characterization, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no workloads to characterize")
 	}
@@ -84,6 +154,20 @@ func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machin
 	}
 	for _, m := range machines {
 		c.MachineNames = append(c.MachineNames, m.Name())
+	}
+	return c, nil
+}
+
+// CharacterizeStored is Characterize backed by a measurement store:
+// every (entry, machine) pair already in st is served from it, every
+// pair computed lands in it, and concurrent characterizations sharing
+// st never simulate the same pair twice. The substrate is
+// deterministic, so the result is bit-identical to a store-free run.
+// A nil store measures directly.
+func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store) (*Characterization, error) {
+	c, err := newCharacterization(entries, machines)
+	if err != nil {
+		return nil, err
 	}
 
 	type job struct {

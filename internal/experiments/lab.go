@@ -45,6 +45,7 @@ type Lab struct {
 type labState struct {
 	opts  machine.RunOptions
 	store *store.Store // nil: measure directly
+	sched core.Runner  // nil: per-characterization worker pool
 
 	mu       sync.Mutex
 	building chan struct{} // non-nil while one caller characterizes
@@ -64,6 +65,17 @@ func NewLab(opts machine.RunOptions) *Lab {
 // A nil store is equivalent to NewLab.
 func NewLabWithStore(opts machine.RunOptions, st *store.Store) *Lab {
 	return &Lab{state: &labState{opts: opts, store: st}}
+}
+
+// NewLabWithSched returns a Lab whose measurements go through st and
+// are executed by r — a shared scheduler (sched.Pool via Queue) that
+// bounds simulation concurrency process-wide and deduplicates
+// in-flight work at the (machine × workload × options) grain across
+// every lab sharing it. Nil r is equivalent to NewLabWithStore; nil
+// st measures directly (the scheduler still deduplicates in-flight
+// submissions).
+func NewLabWithSched(opts machine.RunOptions, st *store.Store, r core.Runner) *Lab {
+	return &Lab{state: &labState{opts: opts, store: st, sched: r}}
 }
 
 // WithContext returns a handle on the same lab whose operations abort
@@ -152,7 +164,7 @@ func (l *Lab) build() (*core.Characterization, []*machine.Machine, error) {
 		fleet, err := machine.Fleet()
 		var char *core.Characterization
 		if err == nil {
-			char, err = core.CharacterizeStored(ctx, Entries(), fleet, s.opts, s.store)
+			char, err = core.CharacterizeScheduled(ctx, Entries(), fleet, s.opts, s.store, s.sched)
 		}
 
 		s.mu.Lock()
@@ -190,23 +202,51 @@ func (l *Lab) Fleet() ([]*machine.Machine, error) {
 // cached and persisted like everything else.
 func (l *Lab) RunStored(m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
 	st := l.state.store
-	if st == nil {
+	key := store.KeyFor(m, w, opts)
+	compute := func(context.Context) (*machine.RawCounts, error) {
 		return m.Run(w, opts)
 	}
-	return st.GetOrCompute(l.Context(), store.KeyFor(m, w, opts), func(context.Context) (*machine.RawCounts, error) {
-		return m.Run(w, opts)
-	})
+	stored := func(ctx context.Context) (*machine.RawCounts, error) {
+		if st == nil {
+			return m.Run(w, opts)
+		}
+		return st.GetOrCompute(ctx, key, compute)
+	}
+	if r := l.state.sched; r != nil {
+		v, err := r.Do(l.Context(), key.ID(), func(jctx context.Context) (any, error) {
+			return stored(jctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(*machine.RawCounts), nil
+	}
+	return stored(l.Context())
 }
 
 // RunStoredMulti is RunStored for multi-copy (SPECrate-style) runs.
 func (l *Lab) RunStoredMulti(m *machine.Machine, w machine.Workload, copies int, opts machine.RunOptions) (*machine.MultiCounts, error) {
 	st := l.state.store
-	if st == nil {
+	key := store.KeyForMulti(m, w, copies, opts)
+	compute := func(context.Context) (*machine.MultiCounts, error) {
 		return m.RunMulti(w, copies, opts)
 	}
-	return st.GetOrComputeMulti(l.Context(), store.KeyForMulti(m, w, copies, opts), func(context.Context) (*machine.MultiCounts, error) {
-		return m.RunMulti(w, copies, opts)
-	})
+	stored := func(ctx context.Context) (*machine.MultiCounts, error) {
+		if st == nil {
+			return m.RunMulti(w, copies, opts)
+		}
+		return st.GetOrComputeMulti(ctx, key, compute)
+	}
+	if r := l.state.sched; r != nil {
+		v, err := r.Do(l.Context(), key.ID(), func(jctx context.Context) (any, error) {
+			return stored(jctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(*machine.MultiCounts), nil
+	}
+	return stored(l.Context())
 }
 
 // suiteChar returns the characterization restricted to one CPU2017

@@ -110,6 +110,17 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// snapshot returns a self-consistent copy of the histogram state:
+// buckets, sum, and count captured under one lock acquisition, so an
+// exposition rendered from it always satisfies the histogram
+// invariants (sum of buckets == count) even while observations land
+// concurrently.
+func (h *Histogram) snapshot() (buckets []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.buckets...), h.sum, h.count
+}
+
 // DefBuckets are latency-shaped default histogram bounds, in seconds.
 var DefBuckets = []float64{
 	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
@@ -312,19 +323,18 @@ func (f *family) write(b *strings.Builder) {
 		case *Gauge:
 			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, values, "", 0), formatFloat(s.Value()))
 		case *Histogram:
-			s.mu.Lock()
+			buckets, sum, count := s.snapshot()
 			cum := uint64(0)
 			for i, bound := range s.bounds {
-				cum += s.buckets[i]
+				cum += buckets[i]
 				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
 					labelString(f.labels, values, "le", bound), cum)
 			}
-			cum += s.buckets[len(s.bounds)]
+			cum += buckets[len(s.bounds)]
 			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
 				labelString(f.labels, values, "le", math.Inf(1)), cum)
-			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", 0), formatFloat(s.sum))
-			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", 0), s.count)
-			s.mu.Unlock()
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", 0), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", 0), count)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -168,4 +169,75 @@ func TestConcurrentUpdates(t *testing.T) {
 	if total != workers*per {
 		t.Errorf("vec total = %v, want %d", total, workers*per)
 	}
+}
+
+// TestHistogramSnapshotConsistency scrapes while observations land and
+// checks each exposition is self-consistent: every observation is 1.0,
+// so h_sum must equal h_count and the +Inf bucket must hold every
+// observation counted. A rendering that read buckets, sum, and count
+// under separate lock acquisitions would tear.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{0.5, 2})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					h.Observe(1.0)
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count uint64
+		var sum float64
+		var haveInf, haveCount, haveSum bool
+		for _, line := range strings.Split(b.String(), "\n") {
+			val := line[strings.LastIndex(line, " ")+1:]
+			switch {
+			case strings.HasPrefix(line, `h_seconds_bucket{le="+Inf"}`):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				inf, haveInf = n, true
+			case strings.HasPrefix(line, "h_seconds_count"):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				count, haveCount = n, true
+			case strings.HasPrefix(line, "h_seconds_sum"):
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				sum, haveSum = f, true
+			}
+		}
+		if !haveInf || !haveCount || !haveSum {
+			t.Fatalf("exposition missing histogram series:\n%s", b.String())
+		}
+		if inf != count {
+			t.Fatalf("scrape %d: +Inf bucket = %d, count = %d (torn snapshot)", i, inf, count)
+		}
+		if sum != float64(count) {
+			t.Fatalf("scrape %d: sum = %v, count = %d (all observations are 1.0; torn snapshot)", i, sum, count)
+		}
+	}
+	close(done)
+	wg.Wait()
 }

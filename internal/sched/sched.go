@@ -1,0 +1,279 @@
+// Package sched is the shared measurement scheduler: one bounded
+// worker pool through which every simulation in the process flows,
+// whoever asked for it. Where internal/server's singleflight
+// deduplicates at the *experiment* grain and internal/store at the
+// *persistence* grain, the scheduler deduplicates in-flight work at
+// the measurement grain — (machine × workload × canonical options),
+// the store's key — so two batches whose experiment sets overlap
+// share the underlying simulations instead of queueing them twice.
+//
+// Structure:
+//
+//   - A Pool owns the workers and a global FIFO of pending jobs.
+//     Jobs start strictly in submission order (fairness across
+//     requests), bounded by the pool's worker count.
+//   - A Queue is one submitter's handle on the pool — a batch, a
+//     request, a CLI run — with an optional concurrency cap of its
+//     own, so one enormous batch cannot monopolize the workers while
+//     other queues' jobs starve behind it.
+//   - Do submits one keyed job. If a job with the same key is already
+//     pending or running (submitted through *any* queue), the caller
+//     joins it as a waiter instead of enqueueing a duplicate; the
+//     join is counted as a dedup hit.
+//
+// Cancellation follows the refcount convention used throughout the
+// repo: each waiter waits under its own context, and a job every one
+// of whose waiters has departed is canceled (if running) or removed
+// from the queue (if still pending) instead of burning a worker.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// poolMetrics bundles the scheduler's instruments.
+type poolMetrics struct {
+	depth    *metrics.Gauge   // jobs queued, not yet started
+	inflight *metrics.Gauge   // jobs running right now
+	dedup    *metrics.Counter // submissions that joined an existing job
+	started  *metrics.Counter // jobs actually handed to a worker
+}
+
+func newPoolMetrics(r *metrics.Registry) poolMetrics {
+	return poolMetrics{
+		depth: r.Gauge("spec17_sched_queue_depth",
+			"Scheduler jobs queued and waiting for a worker."),
+		inflight: r.Gauge("spec17_sched_inflight",
+			"Scheduler jobs running right now."),
+		dedup: r.Counter("spec17_sched_dedup_hits_total",
+			"Submissions that joined an already pending or running job with the same key."),
+		started: r.Counter("spec17_sched_jobs_started_total",
+			"Jobs handed to a worker (deduplicated submissions excluded)."),
+	}
+}
+
+// job is one keyed unit of work and everything waiting on it.
+type job struct {
+	key   string
+	queue *Queue
+	fn    func(context.Context) (any, error)
+
+	// Pending-list links; nil once started or abandoned.
+	prev, next *job
+	pending    bool
+
+	done   chan struct{}
+	val    any
+	err    error
+	refs   int // waiters still interested, guarded by Pool.mu
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Pool is a bounded, keyed, FIFO worker pool shared by any number of
+// Queues. Create with NewPool; the zero value is not usable.
+type Pool struct {
+	met     poolMetrics
+	workers int
+
+	mu       sync.Mutex
+	running  int
+	npending int
+	jobs     map[string]*job // pending or running, by key
+	head     *job            // pending FIFO
+	tail     *job
+}
+
+// NewPool returns a pool running at most workers jobs concurrently
+// (<= 0 means GOMAXPROCS). Its instruments (spec17_sched_*) land in
+// reg; nil uses a private registry.
+func NewPool(workers int, reg *metrics.Registry) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Pool{
+		met:     newPoolMetrics(reg),
+		workers: workers,
+		jobs:    make(map[string]*job),
+	}
+}
+
+// Queue is one submitter's handle on a Pool. Queues are cheap; create
+// one per logical request or batch so its cap (and cancellation)
+// stays scoped to that submitter's work.
+type Queue struct {
+	pool *Pool
+	cap  int // max concurrently running jobs of this queue; 0 = pool bound only
+	// running counts this queue's jobs currently holding a worker,
+	// guarded by pool.mu.
+	running int
+}
+
+// Queue returns a new submission handle. cap bounds how many of the
+// queue's jobs may run concurrently (<= 0: no per-queue bound — the
+// pool's worker count is the only limit). Jobs joined by dedup count
+// against the queue that first submitted them.
+func (p *Pool) Queue(cap int) *Queue {
+	return &Queue{pool: p, cap: cap}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats is a point-in-time snapshot of the pool's counters, for tests
+// and callers that want to wait for the queue to settle.
+type Stats struct {
+	Depth     int   // jobs queued, not yet started
+	Inflight  int   // jobs running
+	DedupHits int64 // submissions that joined an existing job
+	Started   int64 // jobs handed to a worker
+}
+
+// Stats returns the pool's current counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Depth:     p.npending,
+		Inflight:  p.running,
+		DedupHits: int64(p.met.dedup.Value()),
+		Started:   int64(p.met.started.Value()),
+	}
+}
+
+// pushPending appends j to the FIFO. Caller holds p.mu.
+func (p *Pool) pushPending(j *job) {
+	j.pending = true
+	j.prev = p.tail
+	if p.tail != nil {
+		p.tail.next = j
+	} else {
+		p.head = j
+	}
+	p.tail = j
+	p.npending++
+	p.met.depth.Set(float64(p.npending))
+}
+
+// removePending unlinks j from the FIFO. Caller holds p.mu.
+func (p *Pool) removePending(j *job) {
+	if j.prev != nil {
+		j.prev.next = j.next
+	} else {
+		p.head = j.next
+	}
+	if j.next != nil {
+		j.next.prev = j.prev
+	} else {
+		p.tail = j.prev
+	}
+	j.prev, j.next = nil, nil
+	j.pending = false
+	p.npending--
+	p.met.depth.Set(float64(p.npending))
+}
+
+// dispatch starts pending jobs while workers are free, in FIFO order,
+// skipping jobs whose queue is at its cap. Caller holds p.mu.
+func (p *Pool) dispatch() {
+	for j := p.head; j != nil && p.running < p.workers; {
+		next := j.next
+		if j.queue.cap > 0 && j.queue.running >= j.queue.cap {
+			j = next
+			continue // queue at cap: let later queues' jobs through
+		}
+		p.removePending(j)
+		j.queue.running++
+		p.running++
+		p.met.inflight.Set(float64(p.running))
+		p.met.started.Inc()
+		go p.run(j)
+		j = next
+	}
+}
+
+// run executes one job on a worker goroutine and wakes its waiters.
+func (p *Pool) run(j *job) {
+	v, err := j.fn(j.ctx)
+	p.mu.Lock()
+	j.val, j.err = v, err
+	delete(p.jobs, j.key)
+	j.queue.running--
+	p.running--
+	p.met.inflight.Set(float64(p.running))
+	close(j.done)
+	j.cancel()
+	p.dispatch()
+	p.mu.Unlock()
+}
+
+// Do submits one keyed job and blocks until it completes or ctx is
+// canceled. If a job with the same key is already pending or running,
+// the caller joins it (a dedup hit) instead of enqueueing a second
+// copy — fn is then never called. fn receives a job-owned context,
+// canceled when every waiter has departed; the caller's ctx only ever
+// aborts its own wait. A caller whose joined job was killed by *other*
+// waiters' departure resubmits, so a live caller always gets a result
+// or its own context error.
+func (q *Queue) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	p := q.pool
+	for {
+		p.mu.Lock()
+		j, ok := p.jobs[key]
+		if !ok {
+			jctx, cancel := context.WithCancel(context.Background())
+			j = &job{
+				key: key, queue: q, fn: fn,
+				done: make(chan struct{}),
+				ctx:  jctx, cancel: cancel,
+			}
+			p.jobs[key] = j
+			p.pushPending(j)
+			p.dispatch()
+		} else {
+			p.met.dedup.Inc()
+		}
+		j.refs++
+		p.mu.Unlock()
+
+		select {
+		case <-j.done:
+			p.mu.Lock()
+			j.refs--
+			p.mu.Unlock()
+			if isCanceled(j.err) && ctx.Err() == nil {
+				continue // job died of others' departure; resubmit
+			}
+			return j.val, j.err
+		case <-ctx.Done():
+			p.mu.Lock()
+			j.refs--
+			if j.refs == 0 {
+				if j.pending {
+					// Never started: drop it from the queue entirely.
+					// refs can only grow via p.jobs, so no new waiter
+					// can appear once the entry is gone.
+					p.removePending(j)
+					delete(p.jobs, j.key)
+					j.cancel()
+				} else {
+					j.cancel() // running with no audience: stop it
+				}
+			}
+			p.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

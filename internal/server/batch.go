@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+// maxBatchExperiments bounds one batch submission. The full registry
+// is well under this; the cap exists so a malformed request cannot
+// queue unbounded work.
+const maxBatchExperiments = 256
+
+// batchRequest is the POST /v1/batch body. GET encodes the same
+// fields as query parameters (experiments as a comma-separated list).
+type batchRequest struct {
+	// Experiments lists the experiment ids to evaluate; the single
+	// element "all" expands to the full registry. Duplicates collapse
+	// to one evaluation (and one result line).
+	Experiments []string `json:"experiments"`
+	// Instructions and Warmup select the fidelity, as in
+	// /v1/experiments/{id}.
+	Instructions int `json:"instructions,omitempty"`
+	Warmup       int `json:"warmup,omitempty"`
+	// Concurrency caps how many of this batch's experiments are
+	// evaluated at once. Zero means the server default; values above
+	// the server's BatchConcurrency are clamped down to it.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// batchLine is one NDJSON result line, written in completion order.
+type batchLine struct {
+	ID        string       `json:"id"`
+	Status    string       `json:"status"` // "ok" or "error"
+	Cached    bool         `json:"cached,omitempty"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Result    any          `json:"result,omitempty"`
+	Error     *errorDetail `json:"error,omitempty"`
+}
+
+// parseBatchRequest extracts a batchRequest from either encoding.
+func parseBatchRequest(r *http.Request) (batchRequest, error) {
+	var req batchRequest
+	if r.Method == http.MethodPost {
+		if len(r.URL.RawQuery) > 0 {
+			return req, fmt.Errorf("POST /v1/batch takes a JSON body, not query parameters")
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("decoding batch body: %w", err)
+		}
+		return req, nil
+	}
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "experiments", "instructions", "warmup", "concurrency":
+		default:
+			return req, fmt.Errorf("unknown query parameter %q (valid: experiments, instructions, warmup, concurrency)", k)
+		}
+	}
+	for _, part := range strings.Split(q.Get("experiments"), ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			req.Experiments = append(req.Experiments, part)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"instructions", &req.Instructions},
+		{"warmup", &req.Warmup},
+		{"concurrency", &req.Concurrency},
+	} {
+		if v := q.Get(f.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("%s=%q: must be an integer", f.name, v)
+			}
+			*f.dst = n
+		}
+	}
+	return req, nil
+}
+
+// resolveBatchIDs validates and deduplicates the requested ids,
+// expanding the "all" shorthand. Order is preserved so the submission
+// order (and therefore scheduler fairness) follows the request.
+func resolveBatchIDs(ids []string) ([]string, error) {
+	if len(ids) == 1 && ids[0] == "all" {
+		return experiments.SortedIDs(), nil
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("batch lists no experiments (pass ids or \"all\")")
+	}
+	if len(ids) > maxBatchExperiments {
+		return nil, fmt.Errorf("batch lists %d experiments, more than the maximum %d", len(ids), maxBatchExperiments)
+	}
+	var unknown []string
+	seen := make(map[string]bool, len(ids))
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if _, ok := experiments.Lookup(id); !ok {
+			unknown = append(unknown, id)
+			continue
+		}
+		out = append(out, id)
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiments: %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// handleBatch streams the requested experiments as NDJSON: one
+// {"id","status",...} line per experiment, flushed as each completes.
+// Validation failures are rejected with a regular JSON error before
+// any line is written; after streaming begins, per-experiment failures
+// become status:"error" lines and the stream continues. Closing the
+// connection cancels this batch's pending work — measurements shared
+// with other requests keep running for them.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	req, err := parseBatchRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	ids, err := resolveBatchIDs(req.Experiments)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownExperiment, err.Error(), experiments.SortedIDs())
+		return
+	}
+	opts := machine.RunOptions{Instructions: req.Instructions, WarmupInstructions: req.Warmup}
+	if err := validateBatchOptions(opts); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	conc := s.cfg.BatchConcurrency
+	if req.Concurrency > 0 && req.Concurrency < conc {
+		conc = req.Concurrency
+	}
+
+	s.met.batchInflight.Inc()
+	defer s.met.batchInflight.Dec()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the status line and headers out now: clients see the
+		// stream open as soon as the batch is accepted, not when its
+		// first experiment completes.
+		flusher.Flush()
+	}
+
+	var (
+		writeMu sync.Mutex
+		enc     = json.NewEncoder(w)
+		wg      sync.WaitGroup
+		slots   = make(chan struct{}, conc)
+		ctx     = r.Context()
+	)
+	emit := func(line batchLine) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := enc.Encode(line); err != nil {
+			return // client gone; ctx cancellation stops the rest
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, id := range ids {
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break // disconnected mid-batch; stop submitting
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			start := time.Now()
+			val, cached, _, err := s.fetch(ctx, id, opts)
+			elapsed := time.Since(start)
+			s.met.batchItems.With(id).Observe(elapsed.Seconds())
+			line := batchLine{ID: id, Status: "ok", Cached: cached, ElapsedMS: elapsed.Milliseconds()}
+			if err != nil {
+				s.cfg.Log.Printf("spec17d: batch %s: %v", id, err)
+				code := codeInternal
+				if isContextErr(err) {
+					code = codeCanceled
+				}
+				line = batchLine{ID: id, Status: "error", ElapsedMS: elapsed.Milliseconds(),
+					Error: &errorDetail{Code: code, Message: err.Error()}}
+			} else {
+				line.Result = val
+			}
+			emit(line)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// validateBatchOptions applies the same fidelity limits as the
+// per-experiment endpoint to a body-decoded request.
+func validateBatchOptions(opts machine.RunOptions) error {
+	if opts.Instructions > maxInstructions {
+		return fmt.Errorf("instructions=%d exceeds the maximum %d", opts.Instructions, maxInstructions)
+	}
+	if opts.WarmupInstructions > maxInstructions {
+		return fmt.Errorf("warmup=%d exceeds the maximum %d", opts.WarmupInstructions, maxInstructions)
+	}
+	return opts.Validate()
+}

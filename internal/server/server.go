@@ -24,7 +24,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -37,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -61,6 +61,25 @@ type Config struct {
 	LabCacheSize int
 	// Workers bounds concurrent Lab computations. Defaults to 2.
 	Workers int
+	// SimWorkers bounds concurrent leaf simulations across every Lab
+	// the server owns — the shared scheduler's worker count. Defaults
+	// to GOMAXPROCS.
+	SimWorkers int
+	// BatchConcurrency bounds the experiments one batch request
+	// evaluates at once. Defaults to 4.
+	BatchConcurrency int
+	// ReadHeaderTimeout bounds how long a connection may take to send
+	// its request headers before being cut (slowloris defense).
+	// Defaults to 10s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading an entire request, body included.
+	// Zero (the default) disables it: Go arms the read deadline for
+	// the whole exchange, so a nonzero value also aborts legitimately
+	// long streaming responses (batches at high fidelity).
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// between requests. Defaults to 2m.
+	IdleTimeout time.Duration
 	// Store, when set, backs every Lab the server builds: measurements
 	// are content-addressed, deduplicated across fidelities, and — when
 	// the store has a snapshot path — survive restarts, so a warm
@@ -85,6 +104,15 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
+	if c.BatchConcurrency <= 0 {
+		c.BatchConcurrency = 4
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -96,14 +124,16 @@ func (c Config) withDefaults() Config {
 
 // serverMetrics bundles every instrument the server records.
 type serverMetrics struct {
-	requests     *metrics.CounterVec // endpoint, code
-	latency      *metrics.HistogramVec
-	cacheHits    *metrics.Counter
-	cacheMisses  *metrics.Counter
-	cacheEntries *metrics.Gauge
-	coalesced    *metrics.Counter
-	computations *metrics.Counter
-	inflight     *metrics.Gauge
+	requests      *metrics.CounterVec // endpoint, code
+	latency       *metrics.HistogramVec
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	cacheEntries  *metrics.Gauge
+	coalesced     *metrics.Counter
+	computations  *metrics.Counter
+	inflight      *metrics.Gauge
+	batchInflight *metrics.Gauge
+	batchItems    *metrics.HistogramVec
 }
 
 func newServerMetrics(r *metrics.Registry) serverMetrics {
@@ -126,6 +156,11 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 			"Lab computations actually executed (cache misses that led the flight)."),
 		inflight: r.Gauge("spec17d_inflight_jobs",
 			"Lab computations currently running."),
+		batchInflight: r.Gauge("spec17_batch_inflight",
+			"Batch requests currently streaming."),
+		batchItems: r.HistogramVec("spec17_batch_item_duration_seconds",
+			"Per-experiment latency within batch streams, submission to emitted line.",
+			nil, "experiment"),
 	}
 }
 
@@ -138,6 +173,8 @@ type Server struct {
 
 	flight *group
 	sem    chan struct{} // worker-pool slots
+	pool   *sched.Pool   // shared simulation scheduler
+	queue  *sched.Queue  // the server's queue on pool (uncapped)
 
 	// draining is set once Shutdown begins; computation endpoints then
 	// answer 503 instead of starting work the drain deadline would
@@ -172,9 +209,11 @@ func New(cfg Config) *Server {
 		met:     newServerMetrics(cfg.Metrics),
 		flight:  newGroup(),
 		sem:     make(chan struct{}, cfg.Workers),
+		pool:    sched.NewPool(cfg.SimWorkers, cfg.Metrics),
 		results: newLRU(cfg.ResultCacheSize),
 		labs:    newLRU(cfg.LabCacheSize),
 	}
+	s.queue = s.pool.Queue(0)
 	s.compute = s.runExperiment
 
 	s.mux = http.NewServeMux()
@@ -183,6 +222,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", s.handleCatalog))
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
 	s.mux.HandleFunc("GET /v1/report", s.instrument("/v1/report", s.handleReport))
+	s.mux.HandleFunc("GET /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	return s
 }
 
@@ -198,7 +239,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Serve(l net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
 	}
 	s.httpMu.Lock()
 	s.httpSrv = srv
@@ -233,6 +276,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return srv.Shutdown(ctx)
 }
 
+// Close immediately closes the listener and every active connection,
+// abandoning in-flight requests. It is the escape hatch when a drain
+// must be cut short (e.g. a second termination signal). Safe to call
+// before Serve or after Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
 // cacheKey is the identity of one result: experiment id × canonical
 // run options. Requests spelling the same fidelity differently
 // (explicit defaults vs omitted) share a key.
@@ -252,7 +310,7 @@ func (s *Server) labFor(opts machine.RunOptions) *experiments.Lab {
 	if v, ok := s.labs.get(key); ok {
 		return v.(*experiments.Lab)
 	}
-	lab := experiments.NewLabWithStore(opts.Canonical(), s.cfg.Store)
+	lab := experiments.NewLabWithSched(opts.Canonical(), s.cfg.Store, s.queue)
 	s.labs.put(key, lab)
 	return lab
 }
@@ -402,7 +460,7 @@ func writeError(w http.ResponseWriter, status int, code, message string, known [
 // wait) get 499/canceled, everything else 500/internal.
 func (s *Server) writeComputeError(w http.ResponseWriter, what string, err error) {
 	s.cfg.Log.Printf("spec17d: %s: %v", what, err)
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if isContextErr(err) {
 		// 499: the nginx "client closed request" convention; the
 		// client is usually gone, but keep the wire honest.
 		writeError(w, 499, codeCanceled, err.Error(), nil)
@@ -540,6 +598,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the
+// batch endpoint) can flush per line through the instrumentation
+// layer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with request counting and latency

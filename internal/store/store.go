@@ -44,6 +44,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -83,14 +84,19 @@ type Key struct {
 	Content string `json:"content"`
 }
 
-// id returns the map identity of the key.
-func (k Key) id() string {
+// ID returns the key's canonical string identity — the store's map
+// key, and the identity the shared scheduler (internal/sched)
+// deduplicates in-flight simulations by.
+func (k Key) ID() string {
 	return k.Machine + "|" + k.Workload +
 		"|i" + strconv.Itoa(k.Instructions) +
 		"|w" + strconv.Itoa(k.Warmup) +
 		"|c" + strconv.Itoa(k.Copies) +
 		"|" + k.Content
 }
+
+// id is the historical spelling of ID.
+func (k Key) id() string { return k.ID() }
 
 // contentHash hashes the full measurement identity: the machine's
 // configuration and the workload's spec, seed key, and ILP. JSON
@@ -143,11 +149,12 @@ type Config struct {
 
 // storeMetrics bundles the store's instruments.
 type storeMetrics struct {
-	hits      *metrics.Counter
-	misses    *metrics.Counter
-	loaded    *metrics.Counter
-	persisted *metrics.Counter
-	entries   *metrics.Gauge
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	loaded      *metrics.Counter
+	persisted   *metrics.Counter
+	entries     *metrics.Gauge
+	checkpoints *metrics.Counter
 }
 
 func newStoreMetrics(r *metrics.Registry) storeMetrics {
@@ -162,6 +169,8 @@ func newStoreMetrics(r *metrics.Registry) storeMetrics {
 			"Records written to the on-disk snapshot across saves."),
 		entries: r.Gauge("spec17_store_entries",
 			"Records currently resident in the store."),
+		checkpoints: r.Counter("spec17_store_checkpoints_total",
+			"Background snapshot saves performed by StartCheckpointing."),
 	}
 }
 
@@ -195,6 +204,12 @@ type Store struct {
 	single  map[string]*machine.RawCounts
 	multi   map[string]*machine.MultiCounts
 	flights map[string]*flight
+
+	// gen counts record writes; savedGen is the gen captured by the
+	// last successful Save. They differ exactly when the store holds
+	// records the snapshot doesn't — what checkpointing looks at.
+	gen      int64
+	savedGen int64
 }
 
 // Open returns a ready Store, loading the snapshot at cfg.Path when
@@ -299,6 +314,7 @@ func (s *Store) Save() error {
 	for id, mc := range s.multi {
 		snap.Entries = append(snap.Entries, snapshotEntry{Key: keyFromID(id), Multi: mc})
 	}
+	gen := s.gen
 	s.mu.Unlock()
 	sort.Slice(snap.Entries, func(i, j int) bool {
 		return snap.Entries[i].Key.id() < snap.Entries[j].Key.id()
@@ -334,8 +350,73 @@ func (s *Store) Save() error {
 	if err := os.Rename(tmp.Name(), s.cfg.Path); err != nil {
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
+	s.mu.Lock()
+	if gen > s.savedGen {
+		s.savedGen = gen
+	}
+	s.mu.Unlock()
 	s.met.persisted.Add(float64(len(snap.Entries)))
 	return nil
+}
+
+// Dirty reports whether the store holds records written since the
+// last successful Save (always false for memory-only stores, which
+// have nothing to persist).
+func (s *Store) Dirty() bool {
+	if s.cfg.Path == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen != s.savedGen
+}
+
+// StartCheckpointing saves the snapshot every interval in the
+// background, skipping intervals in which nothing new was recorded.
+// A crash therefore loses at most one interval's worth of
+// measurements instead of everything since boot. Failures are logged
+// and retried at the next tick; the previous snapshot stays intact
+// (Save is atomic). The returned stop function halts the loop,
+// performs one final dirty-check save, and waits for the goroutine to
+// exit; it is safe to call once. No-op (stop does nothing) for
+// memory-only stores or non-positive intervals.
+func (s *Store) StartCheckpointing(interval time.Duration) (stop func()) {
+	if s.cfg.Path == "" || interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	save := func() {
+		if !s.Dirty() {
+			return
+		}
+		if err := s.Save(); err != nil {
+			s.cfg.Log.Printf("store: checkpoint: %v", err)
+			return
+		}
+		s.met.checkpoints.Inc()
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				save()
+			case <-quit:
+				save()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
 }
 
 // keyFromID reverses Key.id. The id is the only identity the maps
@@ -383,9 +464,18 @@ func (s *Store) Get(key Key) (*machine.RawCounts, bool) {
 func (s *Store) Put(key Key, rc *machine.RawCounts) {
 	s.mu.Lock()
 	s.single[key.id()] = rc
+	s.gen++
 	n := len(s.single) + len(s.multi)
 	s.mu.Unlock()
 	s.met.entries.Set(float64(n))
+}
+
+// GetMulti returns the stored multi-copy record for key, if present.
+func (s *Store) GetMulti(key Key) (*machine.MultiCounts, bool) {
+	s.mu.Lock()
+	mc, ok := s.multi[key.id()]
+	s.mu.Unlock()
+	return mc, ok
 }
 
 // GetOrCompute returns the record for key, computing it at most once
@@ -432,6 +522,7 @@ func (s *Store) storeResult(kind, id string, v any) {
 	} else {
 		s.single[id] = v.(*machine.RawCounts)
 	}
+	s.gen++
 }
 
 func (s *Store) getOrCompute(ctx context.Context, key Key, kind string, compute func(context.Context) (any, error)) (any, error) {
