@@ -9,9 +9,9 @@
 GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
              ./internal/cluster/... ./internal/stats/... ./internal/store/... \
-             ./internal/sched/...
+             ./internal/sched/... ./internal/telemetry/...
 
-.PHONY: ci fmt-check vet build test race race-all bench clean
+.PHONY: ci fmt-check vet build test race race-all bench smoke clean
 
 ci: fmt-check vet build test race
 
@@ -36,6 +36,12 @@ race-all:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# smoke boots a real spec17d binary and walks the observability
+# surface: healthz, status, metrics, one traced report, and the
+# report's trace in /v1/traces.
+smoke:
+	$(GO) run ./scripts/smoke
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,9 @@ import (
 	"context"
 	"sync"
 	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/store"
 )
 
 var (
@@ -303,6 +306,56 @@ func BenchmarkRateScaling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RateScaling(l, []string{"505.mcf_r"}, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestStoreHitFastPathAllocs guards the tracing-disabled contract of
+// the observability layer: a warm store hit under a span-less context
+// performs no telemetry allocations. The bound covers only the path's
+// pre-existing costs — the key's string identity (itoa + concat) and
+// GetOrCompute's typed-closure wrapper; a span, attr slice, or
+// timestamp boxed on the untraced hit path would push it over.
+func TestStoreHitFastPathAllocs(t *testing.T) {
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := store.Key{Machine: "m", Workload: "w", Instructions: 400_000, Content: "deadbeef"}
+	st.Put(key, &machine.RawCounts{})
+	ctx := context.Background()
+	compute := func(context.Context) (*machine.RawCounts, error) {
+		panic("compute called on a warm hit")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := st.GetOrCompute(ctx, key, compute); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("warm store hit allocates %.1f objects/op, want <= 3 (key id: itoa + concat, closure wrapper)", allocs)
+	}
+}
+
+// BenchmarkStoreHit measures the warm-hit path the daemon leans on
+// once its store is populated. Run with -benchmem to watch the
+// allocation guard's numbers directly.
+func BenchmarkStoreHit(b *testing.B) {
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := store.Key{Machine: "m", Workload: "w", Instructions: 400_000, Content: "deadbeef"}
+	st.Put(key, &machine.RawCounts{})
+	ctx := context.Background()
+	compute := func(context.Context) (*machine.RawCounts, error) {
+		panic("compute called on a warm hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.GetOrCompute(ctx, key, compute); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -55,9 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	st, err := store.Open(store.Config{Path: *storePath})
+	// Diagnostics (store warnings, persist failures) go through the
+	// structured logger; experiment results stay plain stdout.
+	logger := telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
+
+	st, err := store.Open(store.Config{Path: *storePath, Log: logger.Std("store")})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spec17: warning: %v (starting cold)\n", err)
+		logger.Warn("opening store; starting cold", "err", err)
 	}
 	// One scheduler bounds every simulation the process runs —
 	// including the out-of-characterization measurements (sensitivity
@@ -70,13 +75,13 @@ func main() {
 		// Persist what was measured even on failure: the next run
 		// resumes from it.
 		if serr := st.Save(); serr != nil {
-			fmt.Fprintf(os.Stderr, "spec17: persisting store: %v\n", serr)
+			logger.Error("persisting store", "err", serr)
 		}
-		fmt.Fprintf(os.Stderr, "spec17: %v\n", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 	if err := st.Save(); err != nil {
-		fmt.Fprintf(os.Stderr, "spec17: persisting store: %v\n", err)
+		logger.Error("persisting store", "err", err)
 		os.Exit(1)
 	}
 }

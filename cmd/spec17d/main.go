@@ -1,7 +1,7 @@
 // Command spec17d serves the reproduction's experiment suite over
 // HTTP/JSON — the batch spec17 CLI turned into a long-running
 // characterization service with result caching, request coalescing,
-// batch streaming, and Prometheus metrics.
+// batch streaming, request tracing, and Prometheus metrics.
 //
 // Usage:
 //
@@ -9,6 +9,8 @@
 //	        [-sim-workers n] [-batch-concurrency n]
 //	        [-store file] [-checkpoint d] [-drain d]
 //	        [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]
+//	        [-trace] [-trace-ring n] [-trace-slow d]
+//	        [-pprof-addr addr] [-log-level level]
 //
 // Endpoints:
 //
@@ -17,18 +19,24 @@
 //	GET  /v1/report?instructions=N&warmup=M
 //	GET  /v1/batch?experiments=a,b,c      NDJSON result stream
 //	POST /v1/batch                        same, JSON body
+//	GET  /v1/healthz                      liveness (503 once draining)
+//	GET  /v1/status                       runtime introspection
+//	GET  /v1/traces                       finished request traces
 //	GET  /healthz
 //	GET  /metrics                         Prometheus text format
 //
-// See docs/SERVER.md for endpoint, caching, and metrics details.
+// See docs/SERVER.md for endpoint, caching, and metrics details, and
+// docs/OBSERVABILITY.md for the tracing and logging model.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,67 +45,137 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
-func main() {
-	var (
-		addr       = flag.String("addr", ":8417", "listen address")
-		cache      = flag.Int("cache", 512, "max cached experiment results (LRU)")
-		labs       = flag.Int("labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
-		workers    = flag.Int("workers", 2, "max concurrent lab computations")
-		simWorkers = flag.Int("sim-workers", 0, "max concurrent leaf simulations across all labs (0 = GOMAXPROCS)")
-		batchConc  = flag.Int("batch-concurrency", 4, "max experiments one batch request evaluates at once")
-		storePath  = flag.String("store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on shutdown")
-		checkpoint = flag.Duration("checkpoint", 0, "background store-checkpoint interval (0 disables; requires -store)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
-		readHdrTO  = flag.Duration("read-header-timeout", 10*time.Second, "max time for a connection to send its request headers")
-		readTO     = flag.Duration("read-timeout", 0, "max time to read an entire request (0 disables; nonzero also cuts long batch streams)")
-		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
-	)
-	flag.Parse()
+// daemonConfig is everything the flags decide.
+type daemonConfig struct {
+	addr       string
+	cache      int
+	labs       int
+	workers    int
+	simWorkers int
+	batchConc  int
+	storePath  string
+	checkpoint time.Duration
+	drain      time.Duration
+	readHdrTO  time.Duration
+	readTO     time.Duration
+	idleTO     time.Duration
 
-	logger := log.New(os.Stderr, "spec17d: ", log.LstdFlags)
+	trace     bool
+	traceRing int
+	traceSlow time.Duration
+	pprofAddr string
+	logLevel  telemetry.Level
+}
 
-	// One metrics registry carries the server's, scheduler's, and
-	// store's instruments, so /metrics exposes spec17_store_* and
-	// spec17_sched_* too.
-	reg := metrics.NewRegistry()
-	st, err := store.Open(store.Config{Path: *storePath, Metrics: reg, Log: logger})
+// parseFlags parses the daemon's command line. Errors (including an
+// invalid duration or log level) are printed to stderr naming the
+// offending flag, and the returned error tells main to exit 2 —
+// except flag.ErrHelp, which exits 0.
+func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
+	cfg := &daemonConfig{}
+	fs := flag.NewFlagSet("spec17d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.addr, "addr", ":8417", "listen address")
+	fs.IntVar(&cfg.cache, "cache", 512, "max cached experiment results (LRU)")
+	fs.IntVar(&cfg.labs, "labs", 4, "max resident fleet characterizations, one per fidelity (LRU)")
+	fs.IntVar(&cfg.workers, "workers", 2, "max concurrent lab computations")
+	fs.IntVar(&cfg.simWorkers, "sim-workers", 0, "max concurrent leaf simulations across all labs (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.batchConc, "batch-concurrency", 4, "max experiments one batch request evaluates at once")
+	fs.StringVar(&cfg.storePath, "store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on shutdown")
+	fs.DurationVar(&cfg.checkpoint, "checkpoint", 0, "background store-checkpoint interval (0 disables; requires -store)")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain timeout")
+	fs.DurationVar(&cfg.readHdrTO, "read-header-timeout", 10*time.Second, "max time for a connection to send its request headers")
+	fs.DurationVar(&cfg.readTO, "read-timeout", 0, "max time to read an entire request (0 disables; nonzero also cuts long batch streams)")
+	fs.DurationVar(&cfg.idleTO, "idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
+	fs.BoolVar(&cfg.trace, "trace", true, "record per-request span trees, served at /v1/traces")
+	fs.IntVar(&cfg.traceRing, "trace-ring", 256, "finished traces to retain in memory")
+	fs.DurationVar(&cfg.traceSlow, "trace-slow", 0, "log the full span tree of traces slower than this (0 disables)")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
+	logLevel := fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	lv, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
-		logger.Printf("warning: %v (starting cold)", err)
+		fmt.Fprintf(stderr, "invalid value %q for flag -log-level: %v\n", *logLevel, err)
+		fs.Usage()
+		return nil, err
 	}
-	if *storePath != "" {
-		logger.Printf("measurement store %s: %d records loaded", *storePath, st.Len())
+	cfg.logLevel = lv
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0)
 	}
-	if *checkpoint > 0 {
-		if *storePath == "" {
-			logger.Printf("warning: -checkpoint without -store has nothing to persist")
+	if err != nil {
+		os.Exit(2)
+	}
+
+	logger := telemetry.NewLogger(os.Stderr, cfg.logLevel)
+
+	// One metrics registry carries the server's, scheduler's, store's,
+	// and tracer's instruments, so /metrics exposes spec17_store_*,
+	// spec17_sched_*, and spec17_stage_* too.
+	reg := metrics.NewRegistry()
+	var tracer *telemetry.Tracer
+	if cfg.trace {
+		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Capacity:      cfg.traceRing,
+			SlowThreshold: cfg.traceSlow,
+			Metrics:       reg,
+			Log:           logger,
+		})
+	}
+
+	st, err := store.Open(store.Config{Path: cfg.storePath, Metrics: reg, Log: logger.Std("store")})
+	if err != nil {
+		logger.Warn("opening store; starting cold", "err", err)
+	}
+	if cfg.storePath != "" {
+		logger.Info("measurement store loaded", "path", cfg.storePath, "records", st.Len())
+	}
+	if cfg.checkpoint > 0 {
+		if cfg.storePath == "" {
+			logger.Warn("-checkpoint without -store has nothing to persist")
 		} else {
-			stop := st.StartCheckpointing(*checkpoint)
+			stop := st.StartCheckpointing(cfg.checkpoint)
 			defer stop()
-			logger.Printf("checkpointing store every %v", *checkpoint)
+			logger.Info("checkpointing store", "interval", cfg.checkpoint)
 		}
 	}
 
+	if cfg.pprofAddr != "" {
+		go servePprof(cfg.pprofAddr, logger)
+	}
+
 	s := server.New(server.Config{
-		ResultCacheSize:   *cache,
-		LabCacheSize:      *labs,
-		Workers:           *workers,
-		SimWorkers:        *simWorkers,
-		BatchConcurrency:  *batchConc,
-		ReadHeaderTimeout: *readHdrTO,
-		ReadTimeout:       *readTO,
-		IdleTimeout:       *idleTO,
+		ResultCacheSize:   cfg.cache,
+		LabCacheSize:      cfg.labs,
+		Workers:           cfg.workers,
+		SimWorkers:        cfg.simWorkers,
+		BatchConcurrency:  cfg.batchConc,
+		ReadHeaderTimeout: cfg.readHdrTO,
+		ReadTimeout:       cfg.readTO,
+		IdleTimeout:       cfg.idleTO,
 		Store:             st,
 		Metrics:           reg,
 		Log:               logger,
+		Tracer:            tracer,
 	})
 
-	l, err := net.Listen("tcp", *addr)
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		logger.Fatalf("listen: %v", err)
+		logger.Error("listen", "addr", cfg.addr, "err", err)
+		os.Exit(1)
 	}
-	logger.Printf("serving on http://%s (catalog: /v1/experiments, metrics: /metrics)", l.Addr())
+	logger.Info("serving", "addr", l.Addr().String(),
+		"tracing", tracer != nil, "catalog", "/v1/experiments", "metrics", "/metrics")
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- s.Serve(l) }()
@@ -110,18 +188,20 @@ func main() {
 			// The listener died out from under us; persist what the
 			// process measured before giving up.
 			if serr := saveStore(st, logger); serr != nil {
-				logger.Printf("persisting store: %v", serr)
+				logger.Error("persisting store", "err", serr)
 			}
-			logger.Fatalf("serve: %v", err)
+			logger.Error("serve", "err", err)
+			os.Exit(1)
 		}
 		return
 	case got := <-sig:
-		logger.Printf("received %v, draining for up to %v (signal again to force)", got, *drain)
+		logger.Info("draining", "signal", got.String(), "timeout", cfg.drain,
+			"note", "signal again to force")
 	}
 
 	// Drain in the background; a second signal cuts it short with a
 	// best-effort store save and an immediate close.
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	shutdownDone := make(chan error, 1)
 	go func() { shutdownDone <- s.Shutdown(ctx) }()
@@ -130,36 +210,55 @@ func main() {
 	select {
 	case shutdownErr = <-shutdownDone:
 	case got := <-sig:
-		logger.Printf("received %v during drain, forcing shutdown", got)
+		logger.Warn("forcing shutdown", "signal", got.String())
 		if err := saveStore(st, logger); err != nil {
-			logger.Printf("persisting store: %v", err)
+			logger.Error("persisting store", "err", err)
 		}
 		_ = s.Close()
 		os.Exit(1)
 	}
 
 	if err := saveStore(st, logger); err != nil {
-		logger.Printf("persisting store: %v", err)
+		logger.Error("persisting store", "err", err)
 	}
 	if shutdownErr != nil {
-		logger.Printf("shutdown: %v", shutdownErr)
+		logger.Error("shutdown", "err", shutdownErr)
 		os.Exit(1)
 	}
 	if err := <-serveErr; err != nil {
-		logger.Fatalf("serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "spec17d: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// servePprof serves net/http/pprof on its own listener, separate from
+// the API address so profiling is never reachable through whatever
+// exposes the service — an explicit mux rather than DefaultServeMux,
+// so importing pprof cannot leak handlers onto the API.
+func servePprof(addr string, logger *telemetry.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("pprof listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Error("pprof serve", "err", err)
+	}
 }
 
 // saveStore persists the measurement store after the drain, so every
 // measurement the process made warms the next one.
-func saveStore(st *store.Store, logger *log.Logger) error {
+func saveStore(st *store.Store, logger *telemetry.Logger) error {
 	if st.Path() == "" {
 		return nil
 	}
 	if err := st.Save(); err != nil {
 		return err
 	}
-	logger.Printf("measurement store %s: %d records persisted", st.Path(), st.Len())
+	logger.Info("measurement store persisted", "path", st.Path(), "records", st.Len())
 	return nil
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var buf strings.Builder
+	cfg, err := parseFlags(nil, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if cfg.addr != ":8417" {
+		t.Errorf("addr = %q, want :8417", cfg.addr)
+	}
+	if !cfg.trace {
+		t.Error("trace should default to true")
+	}
+	if cfg.traceRing != 256 {
+		t.Errorf("traceRing = %d, want 256", cfg.traceRing)
+	}
+	if cfg.traceSlow != 0 {
+		t.Errorf("traceSlow = %v, want 0", cfg.traceSlow)
+	}
+	if cfg.pprofAddr != "" {
+		t.Errorf("pprofAddr = %q, want empty", cfg.pprofAddr)
+	}
+	if cfg.logLevel != telemetry.LevelInfo {
+		t.Errorf("logLevel = %v, want info", cfg.logLevel)
+	}
+	if cfg.drain != 30*time.Second {
+		t.Errorf("drain = %v, want 30s", cfg.drain)
+	}
+}
+
+func TestParseFlagsValid(t *testing.T) {
+	var buf strings.Builder
+	cfg, err := parseFlags([]string{
+		"-trace=false", "-trace-ring", "64", "-trace-slow", "1.5s",
+		"-pprof-addr", "localhost:6060", "-log-level", "debug",
+		"-store", "/tmp/s.json", "-drain", "5s",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if cfg.trace {
+		t.Error("trace = true, want false")
+	}
+	if cfg.traceRing != 64 {
+		t.Errorf("traceRing = %d, want 64", cfg.traceRing)
+	}
+	if cfg.traceSlow != 1500*time.Millisecond {
+		t.Errorf("traceSlow = %v, want 1.5s", cfg.traceSlow)
+	}
+	if cfg.pprofAddr != "localhost:6060" {
+		t.Errorf("pprofAddr = %q", cfg.pprofAddr)
+	}
+	if cfg.logLevel != telemetry.LevelDebug {
+		t.Errorf("logLevel = %v, want debug", cfg.logLevel)
+	}
+	if cfg.storePath != "/tmp/s.json" || cfg.drain != 5*time.Second {
+		t.Errorf("storePath = %q, drain = %v", cfg.storePath, cfg.drain)
+	}
+}
+
+// TestParseFlagsInvalidDuration checks the contract main exits 2 on:
+// a malformed duration is an error whose stderr output names the
+// offending flag, so the operator sees which of a dozen duration
+// flags to fix.
+func TestParseFlagsInvalidDuration(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-trace-slow", "fast"}, "-trace-slow"},
+		{[]string{"-drain", "10"}, "-drain"}, // bare number: missing unit
+		{[]string{"-read-timeout", "xx"}, "-read-timeout"},
+	} {
+		var buf strings.Builder
+		_, err := parseFlags(tc.args, &buf)
+		if err == nil {
+			t.Errorf("parseFlags(%v) succeeded, want error", tc.args)
+			continue
+		}
+		if errors.Is(err, flag.ErrHelp) {
+			t.Errorf("parseFlags(%v) = ErrHelp, want parse error", tc.args)
+		}
+		if !strings.Contains(buf.String(), tc.flag) {
+			t.Errorf("parseFlags(%v) stderr does not name %s:\n%s", tc.args, tc.flag, buf.String())
+		}
+	}
+}
+
+func TestParseFlagsInvalidLogLevel(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseFlags([]string{"-log-level", "loud"}, &buf)
+	if err == nil {
+		t.Fatal("parseFlags succeeded, want error")
+	}
+	if !strings.Contains(buf.String(), "-log-level") {
+		t.Errorf("stderr does not name -log-level:\n%s", buf.String())
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseFlags([]string{"-h"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("parseFlags(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(buf.String(), "-trace-slow") {
+		t.Errorf("usage output missing -trace-slow:\n%s", buf.String())
+	}
+}

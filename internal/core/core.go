@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Entry is one workload to characterize, with its display label.
@@ -239,14 +241,33 @@ feed:
 // measurements.
 func measure(ctx context.Context, st *store.Store, m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
 	if st == nil {
-		return m.Run(w, opts)
+		return Simulate(ctx, m, w, opts)
 	}
 	return st.GetOrCompute(ctx, store.KeyFor(m, w, opts), func(fctx context.Context) (*machine.RawCounts, error) {
 		if err := fctx.Err(); err != nil {
 			return nil, err // every waiter left before the run began
 		}
-		return m.Run(w, opts)
+		return Simulate(fctx, m, w, opts)
 	})
+}
+
+// Simulate runs one workload on one machine, emitting a "simulate"
+// span on the context's trace — the leaf stage every other span tree
+// layer (scheduling, storage, analysis) is measured against.
+func Simulate(ctx context.Context, m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
+	_, span := telemetry.StartSpan(ctx, "simulate", "machine", m.Name(), "workload", w.Key)
+	rc, err := m.Run(w, opts)
+	span.End()
+	return rc, err
+}
+
+// SimulateMulti is Simulate for multi-copy (SPECrate-style) runs.
+func SimulateMulti(ctx context.Context, m *machine.Machine, w machine.Workload, copies int, opts machine.RunOptions) (*machine.MultiCounts, error) {
+	_, span := telemetry.StartSpan(ctx, "simulate",
+		"machine", m.Name(), "workload", w.Key, "copies", strconv.Itoa(copies))
+	mc, err := m.RunMulti(w, copies, opts)
+	span.End()
+	return mc, err
 }
 
 // Sample returns the metric sample for one workload on one machine.

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/counters"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // SimilarityOptions configure the PCA + clustering pipeline.
@@ -54,12 +57,23 @@ type Similarity struct {
 
 // Similarity runs the Section III pipeline on the characterization.
 func (c *Characterization) Similarity(opts SimilarityOptions) (*Similarity, error) {
+	return c.SimilarityCtx(context.Background(), opts)
+}
+
+// SimilarityCtx is Similarity carrying a context so the analysis
+// stages land as "pca" and "cluster" spans on the request's trace.
+// The pipeline itself never blocks on ctx — PCA and clustering are
+// fast relative to measurement — so the context is observability-only.
+func (c *Characterization) SimilarityCtx(ctx context.Context, opts SimilarityOptions) (*Similarity, error) {
 	matrix, cols, err := c.Matrix(opts.Metrics, opts.Machines)
 	if err != nil {
 		return nil, err
 	}
+	_, pcaSpan := telemetry.StartSpan(ctx, "pca",
+		"rows", strconv.Itoa(len(c.Labels)), "columns", strconv.Itoa(len(cols)))
 	pca, err := stats.FitPCA(matrix, stats.PCAOptions{})
 	if err != nil {
+		pcaSpan.End()
 		return nil, fmt.Errorf("core: similarity PCA: %w", err)
 	}
 	k := pca.KaiserComponents()
@@ -71,7 +85,11 @@ func (c *Characterization) Similarity(opts SimilarityOptions) (*Similarity, erro
 		k = len(c.Labels) - 1
 	}
 	points := pca.ReducedScores(k, !opts.UnweightedScores)
+	pcaSpan.End()
+	_, clusterSpan := telemetry.StartSpan(ctx, "cluster",
+		"points", strconv.Itoa(len(points)), "pcs", strconv.Itoa(k))
 	dendro, err := cluster.Cluster(points, c.Labels, opts.Linkage)
+	clusterSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: similarity clustering: %w", err)
 	}

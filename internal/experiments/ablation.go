@@ -50,7 +50,7 @@ func AblateLinkage(lab *Lab) ([]LinkageRow, error) {
 		for _, method := range []cluster.Linkage{cluster.Single, cluster.Complete, cluster.Average, cluster.Ward} {
 			opts := core.DefaultSimilarityOptions()
 			opts.Linkage = method
-			sim, err := c.Similarity(opts)
+			sim, err := c.SimilarityCtx(lab.Context(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -113,7 +113,7 @@ func SubsetSizeSweep(lab *Lab, maxK int) ([]SubsetSizeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim, err := c.Similarity(core.DefaultSimilarityOptions())
+		sim, err := c.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -173,13 +173,13 @@ func AblateScoreWeighting(lab *Lab) ([]WeightingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		weighted, err := c.Similarity(core.DefaultSimilarityOptions())
+		weighted, err := c.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 		if err != nil {
 			return nil, err
 		}
 		opts := core.DefaultSimilarityOptions()
 		opts.UnweightedScores = true
-		unweighted, err := c.Similarity(opts)
+		unweighted, err := c.SimilarityCtx(lab.Context(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -213,13 +213,13 @@ func AblatePCSelection(lab *Lab) ([]PCSelectionRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		kaiser, err := c.Similarity(core.DefaultSimilarityOptions())
+		kaiser, err := c.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 		if err != nil {
 			return nil, err
 		}
 		opts := core.DefaultSimilarityOptions()
 		opts.VarianceTarget = 0.9
-		variance, err := c.Similarity(opts)
+		variance, err := c.SimilarityCtx(lab.Context(), opts)
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,7 @@ func scatterFor(lab *Lab, labels []string, metrics []counters.Metric,
 	opts := core.DefaultSimilarityOptions()
 	opts.Metrics = metrics
 	opts.Machines = machines
-	sim, err := sub.Similarity(opts)
+	sim, err := sub.SimilarityCtx(lab.Context(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +243,7 @@ func Fig11(lab *Lab) (planes []CoverageResult, uncovered []string, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sim, err := joint.Similarity(core.DefaultSimilarityOptions())
+	sim, err := joint.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -365,7 +365,7 @@ func Fig12(lab *Lab) (*CoverageResult, *ScatterResult, error) {
 	opts := core.DefaultSimilarityOptions()
 	opts.Metrics = counters.PowerMetrics()
 	opts.Machines = raplMachines
-	sim, err := joint.Similarity(opts)
+	sim, err := joint.SimilarityCtx(lab.Context(), opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -424,7 +424,7 @@ func Fig13(lab *Lab) (*EmergingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := joint.Similarity(core.DefaultSimilarityOptions())
+	sim, err := joint.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 	if err != nil {
 		return nil, err
 	}

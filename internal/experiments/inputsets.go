@@ -55,7 +55,7 @@ func inputSetAnalysis(lab *Lab, suites ...workloads.Suite) (*InputSetResult, err
 	if err != nil {
 		return nil, err
 	}
-	sim, err := sub.Similarity(core.DefaultSimilarityOptions())
+	sim, err := sub.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +218,7 @@ func RateSpeed(lab *Lab) ([]RateSpeedRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := sub.Similarity(core.DefaultSimilarityOptions())
+	sim, err := sub.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -164,7 +165,13 @@ func (l *Lab) build() (*core.Characterization, []*machine.Machine, error) {
 		fleet, err := machine.Fleet()
 		var char *core.Characterization
 		if err == nil {
-			char, err = core.CharacterizeScheduled(ctx, Entries(), fleet, s.opts, s.store, s.sched)
+			// Only the leader carries a characterize span; waiters that
+			// coalesced onto this build share the result, not the spans.
+			cctx, span := telemetry.StartSpan(ctx, "characterize",
+				"entries", fmt.Sprintf("%d", len(Entries())),
+				"machines", fmt.Sprintf("%d", len(fleet)))
+			char, err = core.CharacterizeScheduled(cctx, Entries(), fleet, s.opts, s.store, s.sched)
+			span.End()
 		}
 
 		s.mu.Lock()
@@ -203,12 +210,12 @@ func (l *Lab) Fleet() ([]*machine.Machine, error) {
 func (l *Lab) RunStored(m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
 	st := l.state.store
 	key := store.KeyFor(m, w, opts)
-	compute := func(context.Context) (*machine.RawCounts, error) {
-		return m.Run(w, opts)
+	compute := func(ctx context.Context) (*machine.RawCounts, error) {
+		return core.Simulate(ctx, m, w, opts)
 	}
 	stored := func(ctx context.Context) (*machine.RawCounts, error) {
 		if st == nil {
-			return m.Run(w, opts)
+			return core.Simulate(ctx, m, w, opts)
 		}
 		return st.GetOrCompute(ctx, key, compute)
 	}
@@ -228,12 +235,12 @@ func (l *Lab) RunStored(m *machine.Machine, w machine.Workload, opts machine.Run
 func (l *Lab) RunStoredMulti(m *machine.Machine, w machine.Workload, copies int, opts machine.RunOptions) (*machine.MultiCounts, error) {
 	st := l.state.store
 	key := store.KeyForMulti(m, w, copies, opts)
-	compute := func(context.Context) (*machine.MultiCounts, error) {
-		return m.RunMulti(w, copies, opts)
+	compute := func(ctx context.Context) (*machine.MultiCounts, error) {
+		return core.SimulateMulti(ctx, m, w, copies, opts)
 	}
 	stored := func(ctx context.Context) (*machine.MultiCounts, error) {
 		if st == nil {
-			return m.RunMulti(w, copies, opts)
+			return core.SimulateMulti(ctx, m, w, copies, opts)
 		}
 		return st.GetOrComputeMulti(ctx, key, compute)
 	}

@@ -30,7 +30,7 @@ func dendrogramFor(lab *Lab, suite workloads.Suite) (*DendrogramResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := c.Similarity(core.DefaultSimilarityOptions())
+	sim, err := c.SimilarityCtx(lab.Context(), core.DefaultSimilarityOptions())
 	if err != nil {
 		return nil, err
 	}

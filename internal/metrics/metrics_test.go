@@ -241,3 +241,136 @@ func TestHistogramSnapshotConsistency(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+// TestLabelValueEscaping pins the exposition escaping rules: label
+// values may carry backslashes, quotes, and newlines, and must land
+// escaped exactly as Prometheus's text format requires, one series per
+// distinct raw value.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "Escaping.", "path")
+	v.With(`back\slash`).Inc()
+	v.With("new\nline").Inc()
+	v.With(`quo"te`).Add(2)
+	v.With("plain").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`esc_total{path="back\\slash"} 1`,
+		`esc_total{path="new\nline"} 1`,
+		`esc_total{path="quo\"te"} 2`,
+		`esc_total{path="plain"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A raw newline inside a label value would corrupt the line-based
+	// format for every series after it.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "line") {
+			t.Errorf("unescaped newline split a series line: %q", line)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text with backslashes and newlines must stay
+// on one line.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "first\nsecond \\ third").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_total first\nsecond \\ third`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+// TestLabelledSnapshotConsistency is the torn-scrape check for
+// labelled series: labelled histograms and counters are updated from
+// several goroutines while WritePrometheus renders, and every scrape
+// must be self-consistent per series — all observations are 1.0, so
+// for each label value sum == count == +Inf bucket. Run under -race
+// this also proves the vec maps tolerate concurrent With/write.
+func TestLabelledSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("hv_seconds", "", []float64{0.5, 2}, "w")
+	cv := r.CounterVec("cv_total", "", "w")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		label := string(rune('a' + w%2))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					hv.With(label).Observe(1.0)
+					cv.With(label).Inc()
+				}
+			}
+		}()
+	}
+
+	parse := func(line string) float64 {
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		type series struct {
+			inf, count, sum float64
+			seen            int
+		}
+		got := map[string]*series{}
+		at := func(label string) *series {
+			if got[label] == nil {
+				got[label] = &series{}
+			}
+			return got[label]
+		}
+		for _, line := range strings.Split(b.String(), "\n") {
+			for _, label := range []string{"a", "b"} {
+				switch {
+				case strings.HasPrefix(line, `hv_seconds_bucket{w="`+label+`",le="+Inf"}`):
+					s := at(label)
+					s.inf, s.seen = parse(line), s.seen+1
+				case strings.HasPrefix(line, `hv_seconds_count{w="`+label+`"}`):
+					s := at(label)
+					s.count, s.seen = parse(line), s.seen+1
+				case strings.HasPrefix(line, `hv_seconds_sum{w="`+label+`"}`):
+					s := at(label)
+					s.sum, s.seen = parse(line), s.seen+1
+				}
+			}
+		}
+		for label, s := range got {
+			if s.seen != 3 {
+				t.Fatalf("scrape %d label %s: %d of 3 series lines present", i, label, s.seen)
+			}
+			if s.inf != s.count || s.sum != s.count {
+				t.Fatalf("scrape %d label %s: +Inf %v, count %v, sum %v (torn snapshot)",
+					i, label, s.inf, s.count, s.sum)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}

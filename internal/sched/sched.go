@@ -32,8 +32,10 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // poolMetrics bundles the scheduler's instruments.
@@ -62,6 +64,10 @@ type job struct {
 	key   string
 	queue *Queue
 	fn    func(context.Context) (any, error)
+	// submitted is when the job entered the pending FIFO; the gap to
+	// dispatch is surfaced as a sched.wait span on the submitting
+	// request's trace.
+	submitted time.Time
 
 	// Pending-list links; nil once started or abandoned.
 	prev, next *job
@@ -202,6 +208,12 @@ func (p *Pool) dispatch() {
 
 // run executes one job on a worker goroutine and wakes its waiters.
 func (p *Pool) run(j *job) {
+	// The queueing delay is request-visible latency the job's own
+	// execution spans never show; attribute it to the trace of the
+	// submission that created the job.
+	if sp := telemetry.FromContext(j.ctx); sp != nil {
+		sp.Record("sched.wait", j.submitted, time.Now(), "key", j.key)
+	}
 	v, err := j.fn(j.ctx)
 	p.mu.Lock()
 	j.val, j.err = v, err
@@ -230,10 +242,16 @@ func (q *Queue) Do(ctx context.Context, key string, fn func(context.Context) (an
 		j, ok := p.jobs[key]
 		if !ok {
 			jctx, cancel := context.WithCancel(context.Background())
+			// The job context is deliberately detached from any one
+			// waiter's lifetime, but it inherits the creator's trace so
+			// the work done on the job's behalf lands in that request's
+			// span tree (joined waiters share the result, not the spans).
+			jctx = telemetry.WithSpan(jctx, telemetry.FromContext(ctx))
 			j = &job{
 				key: key, queue: q, fn: fn,
-				done: make(chan struct{}),
-				ctx:  jctx, cancel: cancel,
+				submitted: time.Now(),
+				done:      make(chan struct{}),
+				ctx:       jctx, cancel: cancel,
 			}
 			p.jobs[key] = j
 			p.pushPending(j)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 // maxBatchExperiments bounds one batch submission. The full registry
@@ -38,9 +39,14 @@ type batchRequest struct {
 
 // batchLine is one NDJSON result line, written in completion order.
 type batchLine struct {
-	ID        string       `json:"id"`
-	Status    string       `json:"status"` // "ok" or "error"
-	Cached    bool         `json:"cached,omitempty"`
+	ID     string `json:"id"`
+	Status string `json:"status"` // "ok" or "error"
+	Cached bool   `json:"cached,omitempty"`
+	// TraceID names the per-item trace (a child trace of the batch
+	// request, linked via its parent_trace attribute) so one slow line
+	// can be looked up in /v1/traces directly. Omitted when tracing is
+	// disabled.
+	TraceID   string       `json:"trace_id,omitempty"`
 	ElapsedMS int64        `json:"elapsed_ms"`
 	Result    any          `json:"result,omitempty"`
 	Error     *errorDetail `json:"error,omitempty"`
@@ -200,18 +206,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			start := time.Now()
-			val, cached, _, err := s.fetch(ctx, id, opts)
+			// Each item gets its own trace (nil tracer: no-op), so a
+			// single slow experiment is findable in /v1/traces without
+			// wading through the whole batch's tree. The parent_trace
+			// attribute links it back to the batch request's trace.
+			ictx, isp := s.cfg.Tracer.StartTrace(ctx, "batch.item", "",
+				"experiment", id,
+				"parent_trace", telemetry.FromContext(ctx).TraceID())
+			val, cached, _, err := s.fetch(ictx, id, opts)
+			isp.End()
 			elapsed := time.Since(start)
 			s.met.batchItems.With(id).Observe(elapsed.Seconds())
-			line := batchLine{ID: id, Status: "ok", Cached: cached, ElapsedMS: elapsed.Milliseconds()}
+			line := batchLine{ID: id, Status: "ok", Cached: cached,
+				TraceID: isp.TraceID(), ElapsedMS: elapsed.Milliseconds()}
 			if err != nil {
-				s.cfg.Log.Printf("spec17d: batch %s: %v", id, err)
+				s.cfg.Log.Warn("batch item failed", "experiment", id, "err", err)
 				code := codeInternal
 				if isContextErr(err) {
 					code = codeCanceled
 				}
-				line = batchLine{ID: id, Status: "error", ElapsedMS: elapsed.Milliseconds(),
-					Error: &errorDetail{Code: code, Message: err.Error()}}
+				line = batchLine{ID: id, Status: "error", TraceID: isp.TraceID(),
+					ElapsedMS: elapsed.Milliseconds(),
+					Error:     &errorDetail{Code: code, Message: err.Error()}}
 			} else {
 				line.Result = val
 			}

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"strings"
 	"sync"
 	"testing"
@@ -29,14 +30,15 @@ func decodeBatchLine(t *testing.T, line string) batchLine {
 // TestBatchStreamsIncrementally is the streaming contract: the first
 // result line is readable while the batch's other experiments are
 // still computing. Each stubbed computation blocks on its own release
-// channel, so only the released experiment can complete.
+// channel, so only the released experiment can complete. The server is
+// tracing, so every line must also carry its own per-item trace id.
 func TestBatchStreamsIncrementally(t *testing.T) {
 	releases := map[string]chan struct{}{
 		"table1": make(chan struct{}),
 		"table2": make(chan struct{}),
 		"fig1":   make(chan struct{}),
 	}
-	s := New(Config{Workers: 4})
+	s := New(Config{Workers: 4, Tracer: telemetry.NewTracer(telemetry.TracerConfig{})})
 	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
 		if ch, ok := releases[id]; ok {
 			select {
@@ -79,6 +81,10 @@ func TestBatchStreamsIncrementally(t *testing.T) {
 	close(releases["table1"])
 	close(releases["fig1"])
 	got := map[string]bool{}
+	traceIDs := map[string]bool{l.TraceID: true}
+	if l.TraceID == "" {
+		t.Error("first line has no trace_id")
+	}
 	for {
 		line, err := br.ReadString('\n')
 		if err == io.EOF {
@@ -91,10 +97,18 @@ func TestBatchStreamsIncrementally(t *testing.T) {
 		if l.Status != "ok" {
 			t.Errorf("line %+v: status %q", l, l.Status)
 		}
+		if l.TraceID == "" {
+			t.Errorf("line %q has no trace_id", l.ID)
+		}
 		got[l.ID] = true
+		traceIDs[l.TraceID] = true
 	}
 	if !got["table1"] || !got["fig1"] {
 		t.Fatalf("remaining lines = %v, want table1 and fig1", got)
+	}
+	// Each item is its own trace, so the three ids must be distinct.
+	if len(traceIDs) != 3 {
+		t.Errorf("distinct trace ids = %d, want 3", len(traceIDs))
 	}
 }
 

@@ -3,15 +3,19 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // TestRealLabCoalescingAndCache exercises the default compute path
@@ -139,4 +143,114 @@ func TestWarmRestartServesWithoutSimulating(t *testing.T) {
 		t.Errorf("warm report differs from cold report (%d vs %d bytes) — determinism invariant broken",
 			len(warmReport), len(coldReport))
 	}
+}
+
+// TestReportTraceSpanTree is the tracing acceptance criterion end to
+// end: one traced /v1/report at low fidelity yields a span tree with
+// the full pipeline visible — characterize under the root, distinct
+// sched.wait and simulate spans under it, pca/cluster analysis stages,
+// store.put writes — and the root span's duration agrees with the
+// access log's request duration.
+func TestReportTraceSpanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fleet characterization (~6s)")
+	}
+	var logBuf syncBuffer
+	logger := telemetry.NewLogger(&logBuf, telemetry.LevelInfo)
+	reg := metrics.NewRegistry()
+	st, err := store.Open(store.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{Metrics: reg})
+	s := New(Config{Store: st, Metrics: reg, Tracer: tracer, Log: logger})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/report?instructions=2000")
+	if code != http.StatusOK {
+		t.Fatalf("report status %d: %s", code, body)
+	}
+
+	code, body = get(t, ts, "/v1/traces?experiment=report")
+	if code != http.StatusOK {
+		t.Fatalf("traces status %d", code)
+	}
+	var got struct {
+		Count  int                    `json:"count"`
+		Traces []*telemetry.TraceData `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 1 {
+		t.Fatalf("report traces = %d, want 1", got.Count)
+	}
+	tr := got.Traces[0]
+	if tr.Root.Name != "http.request" {
+		t.Errorf("root span = %q, want http.request", tr.Root.Name)
+	}
+
+	counts := map[string]int{}
+	var countNames func(d *telemetry.SpanData)
+	countNames = func(d *telemetry.SpanData) {
+		counts[d.Name]++
+		for i := range d.Children {
+			countNames(&d.Children[i])
+		}
+	}
+	countNames(&tr.Root)
+	// The pipeline's stages must all be visible, and sched.wait must be
+	// recorded separately from the simulation it preceded.
+	for _, stage := range []string{"characterize", "sched.wait", "simulate", "pca", "cluster", "store.put"} {
+		if counts[stage] == 0 {
+			t.Errorf("span tree has no %q span (got %v)", stage, counts)
+		}
+	}
+	if counts["sched.wait"] != counts["simulate"] {
+		t.Errorf("sched.wait spans = %d, simulate spans = %d; every scheduled simulation should record both",
+			counts["sched.wait"], counts["simulate"])
+	}
+
+	// The access log's request duration and the trace's root duration
+	// measure the same request from the same wrapper; they must agree.
+	var loggedDur time.Duration
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, "msg=request") || !strings.Contains(line, "endpoint=/v1/report") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "dur="); ok {
+				if loggedDur, err = time.ParseDuration(v); err != nil {
+					t.Fatalf("parsing %q: %v", f, err)
+				}
+			}
+		}
+	}
+	if loggedDur == 0 {
+		t.Fatalf("no access log line for /v1/report in:\n%s", logBuf.String())
+	}
+	rootDur := time.Duration(tr.DurationMS * float64(time.Millisecond))
+	if rootDur > loggedDur || loggedDur-rootDur > time.Second {
+		t.Errorf("trace root duration %v vs access-log duration %v: want root <= logged within 1s",
+			rootDur, loggedDur)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the logger's concurrent use.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

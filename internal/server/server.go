@@ -25,9 +25,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // reportID is the internal cache identity of the full report; it is
@@ -89,9 +90,13 @@ type Config struct {
 	// Metrics receives the server's instruments. Defaults to a fresh
 	// registry, retrievable via Metrics().
 	Metrics *metrics.Registry
-	// Log receives request-level errors. Defaults to the standard
-	// logger.
-	Log *log.Logger
+	// Log receives access lines and request-level errors. Defaults to
+	// an info-level structured logger on stderr.
+	Log *telemetry.Logger
+	// Tracer records per-request span trees, served by GET /v1/traces.
+	// Nil disables tracing entirely: no X-Trace-Id header, no trace
+	// ids in batch lines, and no per-request allocations for spans.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -117,7 +122,7 @@ func (c Config) withDefaults() Config {
 		c.Metrics = metrics.NewRegistry()
 	}
 	if c.Log == nil {
-		c.Log = log.Default()
+		c.Log = telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
 	}
 	return c
 }
@@ -167,9 +172,10 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 // Server serves the experiment suite. Create with New; the zero value
 // is not usable.
 type Server struct {
-	cfg Config
-	met serverMetrics
-	mux *http.ServeMux
+	cfg     Config
+	met     serverMetrics
+	mux     *http.ServeMux
+	started time.Time
 
 	flight *group
 	sem    chan struct{} // worker-pool slots
@@ -207,6 +213,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		met:     newServerMetrics(cfg.Metrics),
+		started: time.Now(),
 		flight:  newGroup(),
 		sem:     make(chan struct{}, cfg.Workers),
 		pool:    sched.NewPool(cfg.SimWorkers, cfg.Metrics),
@@ -216,14 +223,20 @@ func New(cfg Config) *Server {
 	s.queue = s.pool.Queue(0)
 	s.compute = s.runExperiment
 
+	// Compute endpoints are traced (they do real work worth a span
+	// tree); the observability surface itself — health, status, traces,
+	// metrics — is not, so scraping it never churns the trace ring.
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleLiveness))
+	s.mux.HandleFunc("GET /v1/status", s.instrument("/v1/status", false, s.handleStatus))
+	s.mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", false, s.handleTraces))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", s.handleCatalog))
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", s.handleExperiment))
-	s.mux.HandleFunc("GET /v1/report", s.instrument("/v1/report", s.handleReport))
-	s.mux.HandleFunc("GET /v1/batch", s.instrument("/v1/batch", s.handleBatch))
-	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", false, s.handleCatalog))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", true, s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/report", s.instrument("/v1/report", true, s.handleReport))
+	s.mux.HandleFunc("GET /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
 	return s
 }
 
@@ -346,7 +359,12 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) 
 	s.mu.Unlock()
 	s.met.cacheMisses.Inc()
 
+	// The flight context outlives any one caller, so it inherits the
+	// leading caller's span explicitly; callers that coalesce onto the
+	// flight share its result, not its spans.
+	parentSpan := telemetry.FromContext(ctx)
 	val, err, joined := s.flight.do(ctx, key, func(fctx context.Context) (any, error) {
+		fctx = telemetry.WithSpan(fctx, parentSpan)
 		select {
 		case s.sem <- struct{}{}: // acquire a worker slot
 		case <-fctx.Done():
@@ -459,7 +477,7 @@ func writeError(w http.ResponseWriter, status int, code, message string, known [
 // cancellations (the client has gone away, or the drain abandoned the
 // wait) get 499/canceled, everything else 500/internal.
 func (s *Server) writeComputeError(w http.ResponseWriter, what string, err error) {
-	s.cfg.Log.Printf("spec17d: %s: %v", what, err)
+	s.cfg.Log.Error("compute failed", "what", what, "err", err)
 	if isContextErr(err) {
 		// 499: the nginx "client closed request" convention; the
 		// client is usually gone, but keep the wire honest.
@@ -496,7 +514,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.cfg.Metrics.WritePrometheus(w); err != nil {
-		s.cfg.Log.Printf("spec17d: writing /metrics: %v", err)
+		s.cfg.Log.Error("writing /metrics", "err", err)
 	}
 }
 
@@ -547,6 +565,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
+	telemetry.FromContext(r.Context()).SetAttr("experiment", id)
 	val, cached, coalesced, err := s.fetch(r.Context(), id, opts)
 	if err != nil {
 		s.writeComputeError(w, id, err)
@@ -574,6 +593,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
+	telemetry.FromContext(r.Context()).SetAttr("experiment", "report")
 	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts)
 	if err != nil {
 		s.writeComputeError(w, "report", err)
@@ -589,15 +609,23 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}{canon.Instructions, canon.WarmupInstructions, cached, coalesced, val})
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code and body size for
+// instrumentation and access logging.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the wrapped writer so streaming handlers (the
@@ -609,15 +637,47 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with request counting and latency
-// recording, labelled by route pattern (never by raw path, to keep
-// metric cardinality bounded).
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with request counting, latency recording,
+// and an access log line, labelled by route pattern (never by raw
+// path, to keep metric cardinality bounded). When traced is set and
+// the server has a Tracer, the request runs under a root http.request
+// span — honoring an inbound X-Request-Id as the trace id and echoing
+// the id back as X-Trace-Id — so everything the handler touches
+// (flights, scheduler jobs, store computes, analysis stages) lands in
+// one span tree. With no Tracer the traced path adds nothing: no
+// header, no allocations, byte-identical responses.
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var span *telemetry.Span
+		if traced {
+			var ctx context.Context
+			ctx, span = s.cfg.Tracer.StartTrace(r.Context(), "http.request",
+				r.Header.Get("X-Request-Id"),
+				"method", r.Method, "endpoint", endpoint)
+			if span != nil {
+				w.Header().Set("X-Trace-Id", span.TraceID())
+				r = r.WithContext(ctx)
+			}
+		}
 		h(sw, r)
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(sw.code))
+			span.End()
+		}
+		dur := time.Since(start)
 		s.met.requests.With(endpoint, strconv.Itoa(sw.code)).Inc()
-		s.met.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		s.met.latency.With(endpoint).Observe(dur.Seconds())
+		if s.cfg.Log.Enabled(telemetry.LevelInfo) {
+			kv := []any{
+				"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
+				"status", sw.code, "bytes", sw.bytes, "dur", dur,
+			}
+			if span != nil {
+				kv = append(kv, "trace", span.TraceID())
+			}
+			s.cfg.Log.Info("request", kv...)
+		}
 	}
 }

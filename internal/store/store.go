@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // snapshotVersion is the on-disk format version. A snapshot with a
@@ -528,20 +529,30 @@ func (s *Store) storeResult(kind, id string, v any) {
 func (s *Store) getOrCompute(ctx context.Context, key Key, kind string, compute func(context.Context) (any, error)) (any, error) {
 	id := key.id()
 	for {
+		start := time.Now()
 		s.mu.Lock()
 		if v, ok := s.lookup(kind, id); ok {
 			s.mu.Unlock()
 			s.met.hits.Inc()
+			// Guarded so the untraced hit path — the daemon's hottest
+			// code — stays allocation-free.
+			if sp := telemetry.FromContext(ctx); sp != nil {
+				sp.Record("store.get", start, time.Now(), "key", id, "hit", "true")
+			}
 			return v, nil
 		}
 		f, joined := s.flights[id]
 		if !joined {
 			fctx, cancel := context.WithCancel(context.Background())
+			// The flight outlives any one waiter, but its work belongs
+			// to the trace of the request that opened it.
+			fctx = telemetry.WithSpan(fctx, telemetry.FromContext(ctx))
 			f = &flight{done: make(chan struct{}), cancel: cancel}
 			s.flights[id] = f
 			s.met.misses.Inc()
 			go func() {
 				v, err := compute(fctx)
+				putStart := time.Now()
 				s.mu.Lock()
 				if err == nil {
 					s.storeResult(kind, id, v)
@@ -549,6 +560,11 @@ func (s *Store) getOrCompute(ctx context.Context, key Key, kind string, compute 
 				n := len(s.single) + len(s.multi)
 				delete(s.flights, id)
 				s.mu.Unlock()
+				if err == nil {
+					if sp := telemetry.FromContext(fctx); sp != nil {
+						sp.Record("store.put", putStart, time.Now(), "key", id)
+					}
+				}
 				s.met.entries.Set(float64(n))
 				f.val, f.err = v, err
 				close(f.done)

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedNow pins the logger clock for deterministic lines.
+func fixedNow() time.Time {
+	return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+}
+
+func testLogger(min Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&b, min)
+	l.now = fixedNow
+	return l, &b
+}
+
+func TestLogFormat(t *testing.T) {
+	l, b := testLogger(LevelDebug)
+	l.Info("serving", "addr", ":8417", "workers", 2)
+	got := b.String()
+	want := `time=2026-08-06T12:00:00.000Z level=info msg=serving addr=:8417 workers=2` + "\n"
+	if got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLogQuoting(t *testing.T) {
+	l, b := testLogger(LevelDebug)
+	l.Warn("bad thing happened", "err", errors.New(`parse "x": fail`), "empty", "")
+	got := b.String()
+	for _, want := range []string{
+		`msg="bad thing happened"`,
+		`err="parse \"x\": fail"`,
+		`empty=""`,
+		"level=warn",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := b.String()
+	if strings.Contains(got, "level=debug") || strings.Contains(got, "level=info") {
+		t.Errorf("below-threshold lines emitted:\n%s", got)
+	}
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, "level=error") {
+		t.Errorf("at-threshold lines missing:\n%s", got)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(b.String(), "now visible") {
+		t.Error("SetLevel did not lower the threshold")
+	}
+}
+
+func TestLogWith(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	child := l.With("component", "store")
+	child.Info("loaded", "records", 7)
+	got := b.String()
+	if !strings.Contains(got, "component=store") || !strings.Contains(got, "records=7") {
+		t.Errorf("With attrs missing: %q", got)
+	}
+}
+
+func TestLogValueKinds(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("kinds",
+		"dur", 1500*time.Millisecond,
+		"f", 0.25,
+		"b", true,
+		"n", nil,
+		"odd") // trailing key without value
+	got := b.String()
+	for _, want := range []string{"dur=1.5s", "f=0.25", "b=true", "n=<nil>", "odd=(missing)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info("ignored")
+	l.Error("ignored", "k", "v")
+	if l.With("k", "v") != nil {
+		t.Error("nil.With must stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestStdBridge(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	std := l.Std("store")
+	std.Printf("snapshot %s: %d records", "f.json", 3)
+	got := b.String()
+	if !strings.Contains(got, `msg="snapshot f.json: 3 records"`) || !strings.Contains(got, "component=store") {
+		t.Errorf("std bridge line = %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

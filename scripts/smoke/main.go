@@ -1,0 +1,171 @@
+// Command smoke is `make smoke`: it boots a real spec17d on a free
+// port, walks the observability surface — /v1/healthz, /v1/status,
+// /metrics, one traced /v1/report at tiny fidelity — and asserts the
+// report's trace landed in /v1/traces with the pipeline stages
+// visible. It exercises the built binary, not the handler in-process,
+// so flag parsing, logging, and the HTTP stack are all on the hook.
+//
+// Exit status is 0 on success; any failure prints a diagnostic and
+// exits 1. No external tools (curl, jq) are needed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func get(base, path string) (int, []byte) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func main() {
+	// Build the daemon into a temp dir so the smoke test always runs
+	// what the tree currently says.
+	tmp, err := os.MkdirTemp("", "spec17d-smoke")
+	if err != nil {
+		fatalf("mktemp: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "spec17d")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/spec17d")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		fatalf("building spec17d: %v", err)
+	}
+
+	// Pick a free port by binding and releasing it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("picking a port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	// -trace-slow high enough that the daemon never dumps a full span
+	// tree into the CI log; the flag still goes through parsing.
+	daemon := exec.Command(bin, "-addr", addr, "-trace-slow", "5m")
+	daemon.Stdout, daemon.Stderr = os.Stdout, os.Stderr
+	if err := daemon.Start(); err != nil {
+		fatalf("starting spec17d: %v", err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// Wait for liveness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("daemon not live after 10s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("smoke: /v1/healthz live")
+
+	// /v1/status must report an enabled tracer and a running scheduler.
+	code, body := get(base, "/v1/status")
+	if code != http.StatusOK {
+		fatalf("/v1/status: %d: %s", code, body)
+	}
+	var status struct {
+		Trace struct {
+			Enabled bool `json:"enabled"`
+		} `json:"tracing"`
+		Sched struct {
+			Workers int `json:"workers"`
+		} `json:"sched"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		fatalf("/v1/status: %v\n%s", err, body)
+	}
+	if !status.Trace.Enabled || status.Sched.Workers <= 0 {
+		fatalf("/v1/status: tracing %v, workers %d", status.Trace.Enabled, status.Sched.Workers)
+	}
+	fmt.Println("smoke: /v1/status ok")
+
+	// One traced report at tiny fidelity, carrying a known request id.
+	req, _ := http.NewRequest("GET", base+"/v1/report?instructions=2000", nil)
+	req.Header.Set("X-Request-Id", "smoke-report-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("report: %v", err)
+	}
+	rbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("report: %d: %s", resp.StatusCode, rbody)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "smoke-report-1" {
+		fatalf("report X-Trace-Id = %q, want smoke-report-1", got)
+	}
+	fmt.Printf("smoke: /v1/report ok (%d bytes)\n", len(rbody))
+
+	// /metrics must expose the request and stage-duration families.
+	code, body = get(base, "/metrics")
+	if code != http.StatusOK {
+		fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{"spec17d_requests_total", "spec17_stage_duration_seconds"} {
+		if !strings.Contains(string(body), want) {
+			fatalf("/metrics missing %s", want)
+		}
+	}
+	fmt.Println("smoke: /metrics ok")
+
+	// The report's trace is in the ring, stages and all.
+	code, body = get(base, "/v1/traces?experiment=report")
+	if code != http.StatusOK {
+		fatalf("/v1/traces: %d: %s", code, body)
+	}
+	var traces struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			TraceID string          `json:"trace_id"`
+			Root    json.RawMessage `json:"root"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &traces); err != nil {
+		fatalf("/v1/traces: %v", err)
+	}
+	if traces.Count != 1 || traces.Traces[0].TraceID != "smoke-report-1" {
+		fatalf("/v1/traces: count %d, want the smoke-report-1 trace", traces.Count)
+	}
+	for _, stage := range []string{`"characterize"`, `"simulate"`, `"sched.wait"`, `"pca"`, `"cluster"`} {
+		if !strings.Contains(string(traces.Traces[0].Root), stage) {
+			fatalf("trace missing %s span", stage)
+		}
+	}
+	fmt.Println("smoke: /v1/traces has the report trace with all pipeline stages")
+	fmt.Println("smoke: PASS")
+}
