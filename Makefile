@@ -9,7 +9,7 @@
 GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
              ./internal/cluster/... ./internal/stats/... ./internal/store/... \
-             ./internal/sched/... ./internal/telemetry/...
+             ./internal/sched/... ./internal/telemetry/... ./internal/admission/...
 
 .PHONY: ci fmt-check vet build test race race-all bench smoke clean
 

@@ -68,7 +68,10 @@ func main() {
 	// including the out-of-characterization measurements (sensitivity
 	// sweeps, replicas, multi-copy runs) the per-characterization
 	// parallelism option never covered.
-	pool := sched.NewPool(*parallel, nil)
+	// and no queue bounds: a local batch run wants every measurement it
+	// asked for, however long the queue, unlike the daemon's shed-early
+	// policy.
+	pool := sched.NewPoolWith(sched.PoolConfig{Workers: *parallel})
 	lab := experiments.NewLabWithSched(opts, st, pool.Queue(0))
 
 	if err := run(lab, *exp, *width, *jsonOut, *svgDir); err != nil {

@@ -9,6 +9,8 @@
 //	        [-sim-workers n] [-batch-concurrency n]
 //	        [-store file] [-checkpoint d] [-drain d]
 //	        [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]
+//	        [-rate-limit r] [-burst n] [-max-inflight n] [-max-queue n]
+//	        [-request-timeout d]
 //	        [-trace] [-trace-ring n] [-trace-slow d]
 //	        [-pprof-addr addr] [-log-level level]
 //
@@ -63,6 +65,12 @@ type daemonConfig struct {
 	readTO     time.Duration
 	idleTO     time.Duration
 
+	rateLimit float64
+	burst     float64
+	maxInflt  int
+	maxQueue  int
+	requestTO time.Duration
+
 	trace     bool
 	traceRing int
 	traceSlow time.Duration
@@ -90,6 +98,11 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.DurationVar(&cfg.readHdrTO, "read-header-timeout", 10*time.Second, "max time for a connection to send its request headers")
 	fs.DurationVar(&cfg.readTO, "read-timeout", 0, "max time to read an entire request (0 disables; nonzero also cuts long batch streams)")
 	fs.DurationVar(&cfg.idleTO, "idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
+	fs.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-client admission tokens per second, one token = one default-fidelity experiment (0 disables)")
+	fs.Float64Var(&cfg.burst, "burst", 0, "per-client admission bucket capacity (0 = max(rate-limit, 1))")
+	fs.IntVar(&cfg.maxInflt, "max-inflight", 0, "max concurrently admitted compute requests across all clients (0 = unlimited)")
+	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "max simulations pending in the scheduler before shedding with 429 (0 = unbounded)")
+	fs.DurationVar(&cfg.requestTO, "request-timeout", 0, "server-side deadline per compute request, and max scheduler queue wait (0 disables)")
 	fs.BoolVar(&cfg.trace, "trace", true, "record per-request span trees, served at /v1/traces")
 	fs.IntVar(&cfg.traceRing, "trace-ring", 256, "finished traces to retain in memory")
 	fs.DurationVar(&cfg.traceSlow, "trace-slow", 0, "log the full span tree of traces slower than this (0 disables)")
@@ -105,6 +118,23 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		return nil, err
 	}
 	cfg.logLevel = lv
+	for _, check := range []struct {
+		name string
+		bad  bool
+	}{
+		{"rate-limit", cfg.rateLimit < 0},
+		{"burst", cfg.burst < 0},
+		{"max-inflight", cfg.maxInflt < 0},
+		{"max-queue", cfg.maxQueue < 0},
+		{"request-timeout", cfg.requestTO < 0},
+	} {
+		if check.bad {
+			err := fmt.Errorf("must not be negative")
+			fmt.Fprintf(stderr, "invalid value for flag -%s: %v\n", check.name, err)
+			fs.Usage()
+			return nil, err
+		}
+	}
 	return cfg, nil
 }
 
@@ -163,6 +193,12 @@ func main() {
 		ReadHeaderTimeout: cfg.readHdrTO,
 		ReadTimeout:       cfg.readTO,
 		IdleTimeout:       cfg.idleTO,
+		RateLimit:         cfg.rateLimit,
+		Burst:             cfg.burst,
+		MaxInFlight:       cfg.maxInflt,
+		MaxQueue:          cfg.maxQueue,
+		QueueWait:         cfg.requestTO,
+		RequestTimeout:    cfg.requestTO,
 		Store:             st,
 		Metrics:           reg,
 		Log:               logger,
@@ -243,7 +279,8 @@ func servePprof(addr string, logger *telemetry.Logger) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Addr: addr, Handler: mux,
+		ReadHeaderTimeout: 10 * time.Second, MaxHeaderBytes: 64 << 10}
 	logger.Info("pprof listening", "addr", addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		logger.Error("pprof serve", "err", err)

@@ -97,6 +97,58 @@ func TestParseFlagsInvalidDuration(t *testing.T) {
 	}
 }
 
+// TestParseFlagsInvalidAdmission checks that negative admission
+// limits are rejected at parse time (exit 2 in main) with stderr
+// naming the offending flag, instead of configuring a nonsensical
+// limiter.
+func TestParseFlagsInvalidAdmission(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-rate-limit", "-1"}, "-rate-limit"},
+		{[]string{"-burst", "-0.5"}, "-burst"},
+		{[]string{"-max-inflight", "-2"}, "-max-inflight"},
+		{[]string{"-max-queue", "-1"}, "-max-queue"},
+		{[]string{"-request-timeout", "-3s"}, "-request-timeout"},
+	} {
+		var buf strings.Builder
+		_, err := parseFlags(tc.args, &buf)
+		if err == nil {
+			t.Errorf("parseFlags(%v) succeeded, want error", tc.args)
+			continue
+		}
+		if errors.Is(err, flag.ErrHelp) {
+			t.Errorf("parseFlags(%v) = ErrHelp, want validation error", tc.args)
+		}
+		if !strings.Contains(buf.String(), tc.flag) {
+			t.Errorf("parseFlags(%v) stderr does not name %s:\n%s", tc.args, tc.flag, buf.String())
+		}
+	}
+}
+
+// Valid admission flags land in the config verbatim.
+func TestParseFlagsAdmission(t *testing.T) {
+	var buf strings.Builder
+	cfg, err := parseFlags([]string{
+		"-rate-limit", "2.5", "-burst", "10",
+		"-max-inflight", "32", "-max-queue", "64",
+		"-request-timeout", "45s",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if cfg.rateLimit != 2.5 || cfg.burst != 10 {
+		t.Errorf("rateLimit = %v, burst = %v", cfg.rateLimit, cfg.burst)
+	}
+	if cfg.maxInflt != 32 || cfg.maxQueue != 64 {
+		t.Errorf("maxInflt = %d, maxQueue = %d", cfg.maxInflt, cfg.maxQueue)
+	}
+	if cfg.requestTO != 45*time.Second {
+		t.Errorf("requestTO = %v, want 45s", cfg.requestTO)
+	}
+}
+
 func TestParseFlagsInvalidLogLevel(t *testing.T) {
 	var buf strings.Builder
 	_, err := parseFlags([]string{"-log-level", "loud"}, &buf)

@@ -38,12 +38,28 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Shed errors. Both are terminal for every waiter of the affected
+// submission — unlike a context cancellation, they are never retried
+// by the waiter loop, so callers can map them to a load-shedding
+// response (429) in bounded time.
+var (
+	// ErrQueueFull is returned by Do when the pool's pending queue is
+	// at MaxQueue and the submission would enqueue a new job.
+	ErrQueueFull = errors.New("sched: pending queue full")
+	// ErrQueueTimeout is returned by Do when a pending job waited
+	// longer than the pool's QueueWait without reaching a worker and
+	// was shed.
+	ErrQueueTimeout = errors.New("sched: queue-wait timeout")
+)
+
 // poolMetrics bundles the scheduler's instruments.
 type poolMetrics struct {
-	depth    *metrics.Gauge   // jobs queued, not yet started
-	inflight *metrics.Gauge   // jobs running right now
-	dedup    *metrics.Counter // submissions that joined an existing job
-	started  *metrics.Counter // jobs actually handed to a worker
+	depth     *metrics.Gauge     // jobs queued, not yet started
+	inflight  *metrics.Gauge     // jobs running right now
+	dedup     *metrics.Counter   // submissions that joined an existing job
+	started   *metrics.Counter   // jobs actually handed to a worker
+	shed      *metrics.Counter   // jobs rejected or timed out before starting
+	queueWait *metrics.Histogram // pending time of dispatched jobs
 }
 
 func newPoolMetrics(r *metrics.Registry) poolMetrics {
@@ -56,6 +72,11 @@ func newPoolMetrics(r *metrics.Registry) poolMetrics {
 			"Submissions that joined an already pending or running job with the same key."),
 		started: r.Counter("spec17_sched_jobs_started_total",
 			"Jobs handed to a worker (deduplicated submissions excluded)."),
+		shed: r.Counter("spec17_sched_shed_total",
+			"Jobs shed before starting: rejected by the queue bound or timed out waiting."),
+		queueWait: r.Histogram("spec17_sched_queue_wait_seconds",
+			"Time dispatched jobs spent pending before a worker picked them up.",
+			nil),
 	}
 }
 
@@ -72,6 +93,9 @@ type job struct {
 	// Pending-list links; nil once started or abandoned.
 	prev, next *job
 	pending    bool
+	// shedTimer sheds the job if it waits longer than the pool's
+	// QueueWait; stopped at dispatch. Nil when QueueWait is zero.
+	shedTimer *time.Timer
 
 	done   chan struct{}
 	val    any
@@ -81,11 +105,35 @@ type job struct {
 	cancel context.CancelFunc
 }
 
+// PoolConfig configures a Pool. The zero value is usable: GOMAXPROCS
+// workers, an unbounded queue, no queue-wait shedding.
+type PoolConfig struct {
+	// Workers bounds concurrently running jobs (<= 0: GOMAXPROCS).
+	Workers int
+	// MaxQueue bounds the pending FIFO. A submission that would
+	// enqueue a new job beyond the bound fails with ErrQueueFull
+	// instead of queueing without bound; dedup joins onto already
+	// pending or running jobs are always allowed (they add no work).
+	// 0 means unbounded.
+	MaxQueue int
+	// QueueWait bounds how long a pending job may wait for a worker.
+	// A job pending longer is shed: removed from the queue, and every
+	// waiter gets ErrQueueTimeout — better to fail fast than to start
+	// work whose audience gave up long ago. 0 disables.
+	QueueWait time.Duration
+	// Metrics receives the spec17_sched_* instruments. Nil uses a
+	// private registry.
+	Metrics *metrics.Registry
+}
+
 // Pool is a bounded, keyed, FIFO worker pool shared by any number of
-// Queues. Create with NewPool; the zero value is not usable.
+// Queues. Create with NewPool or NewPoolWith; the zero value is not
+// usable.
 type Pool struct {
-	met     poolMetrics
-	workers int
+	met       poolMetrics
+	workers   int
+	maxQueue  int
+	queueWait time.Duration
 
 	mu       sync.Mutex
 	running  int
@@ -96,19 +144,27 @@ type Pool struct {
 }
 
 // NewPool returns a pool running at most workers jobs concurrently
-// (<= 0 means GOMAXPROCS). Its instruments (spec17_sched_*) land in
-// reg; nil uses a private registry.
+// (<= 0 means GOMAXPROCS) with an unbounded pending queue. Its
+// instruments (spec17_sched_*) land in reg; nil uses a private
+// registry.
 func NewPool(workers int, reg *metrics.Registry) *Pool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewPoolWith(PoolConfig{Workers: workers, Metrics: reg})
+}
+
+// NewPoolWith returns a pool enforcing cfg.
+func NewPoolWith(cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if reg == nil {
-		reg = metrics.NewRegistry()
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 	return &Pool{
-		met:     newPoolMetrics(reg),
-		workers: workers,
-		jobs:    make(map[string]*job),
+		met:       newPoolMetrics(cfg.Metrics),
+		workers:   cfg.Workers,
+		maxQueue:  cfg.MaxQueue,
+		queueWait: cfg.QueueWait,
+		jobs:      make(map[string]*job),
 	}
 }
 
@@ -141,6 +197,8 @@ type Stats struct {
 	Inflight  int   // jobs running
 	DedupHits int64 // submissions that joined an existing job
 	Started   int64 // jobs handed to a worker
+	Shed      int64 // jobs shed by the queue bound or the wait timeout
+	MaxQueue  int   // configured pending bound (0: unbounded)
 }
 
 // Stats returns the pool's current counters.
@@ -152,6 +210,8 @@ func (p *Pool) Stats() Stats {
 		Inflight:  p.running,
 		DedupHits: int64(p.met.dedup.Value()),
 		Started:   int64(p.met.started.Value()),
+		Shed:      int64(p.met.shed.Value()),
+		MaxQueue:  p.maxQueue,
 	}
 }
 
@@ -197,6 +257,11 @@ func (p *Pool) dispatch() {
 			continue // queue at cap: let later queues' jobs through
 		}
 		p.removePending(j)
+		if j.shedTimer != nil {
+			j.shedTimer.Stop()
+			j.shedTimer = nil
+		}
+		p.met.queueWait.Observe(time.Since(j.submitted).Seconds())
 		j.queue.running++
 		p.running++
 		p.met.inflight.Set(float64(p.running))
@@ -204,6 +269,26 @@ func (p *Pool) dispatch() {
 		go p.run(j)
 		j = next
 	}
+}
+
+// shedPending fires when j's queue-wait timer expires. If the job is
+// still pending — no worker ever reached it — it is removed wholesale:
+// every waiter gets ErrQueueTimeout (terminal, never retried by the
+// waiter loop), the key is freed for fresh submissions, and the shed is
+// counted. A job already dispatched or abandoned is left alone.
+func (p *Pool) shedPending(j *job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !j.pending {
+		return // raced with dispatch or abandonment
+	}
+	p.removePending(j)
+	delete(p.jobs, j.key)
+	j.shedTimer = nil
+	j.err = ErrQueueTimeout
+	p.met.shed.Inc()
+	close(j.done)
+	j.cancel()
 }
 
 // run executes one job on a worker goroutine and wakes its waiters.
@@ -241,6 +326,14 @@ func (q *Queue) Do(ctx context.Context, key string, fn func(context.Context) (an
 		p.mu.Lock()
 		j, ok := p.jobs[key]
 		if !ok {
+			// Only a brand-new job takes a queue slot; joining an
+			// existing one adds no work, so dedup passes even at the
+			// bound.
+			if p.maxQueue > 0 && p.npending >= p.maxQueue {
+				p.met.shed.Inc()
+				p.mu.Unlock()
+				return nil, ErrQueueFull
+			}
 			jctx, cancel := context.WithCancel(context.Background())
 			// The job context is deliberately detached from any one
 			// waiter's lifetime, but it inherits the creator's trace so
@@ -255,6 +348,9 @@ func (q *Queue) Do(ctx context.Context, key string, fn func(context.Context) (an
 			}
 			p.jobs[key] = j
 			p.pushPending(j)
+			if p.queueWait > 0 {
+				j.shedTimer = time.AfterFunc(p.queueWait, func() { p.shedPending(j) })
+			}
 			p.dispatch()
 		} else {
 			p.met.dedup.Inc()
@@ -281,6 +377,10 @@ func (q *Queue) Do(ctx context.Context, key string, fn func(context.Context) (an
 					// can appear once the entry is gone.
 					p.removePending(j)
 					delete(p.jobs, j.key)
+					if j.shedTimer != nil {
+						j.shedTimer.Stop()
+						j.shedTimer = nil
+					}
 					j.cancel()
 				} else {
 					j.cancel() // running with no audience: stop it

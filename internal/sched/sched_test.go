@@ -365,3 +365,146 @@ func TestStress(t *testing.T) {
 		t.Error("nothing executed")
 	}
 }
+
+// TestQueueFull: submissions that would enqueue a new job beyond
+// MaxQueue fail promptly with ErrQueueFull; dedup joins onto an
+// existing job still pass at the bound.
+func TestQueueFull(t *testing.T) {
+	p := NewPoolWith(PoolConfig{Workers: 1, MaxQueue: 1})
+	q := p.Queue(0)
+
+	release := make(chan struct{})
+	blocker := func(context.Context) (any, error) { <-release; return "v", nil }
+
+	// Occupy the single worker...
+	go q.Do(context.Background(), "running", blocker)
+	waitFor(t, "worker busy", func() bool { return p.Stats().Inflight == 1 })
+	// ...and the single queue slot.
+	go q.Do(context.Background(), "queued", blocker)
+	waitFor(t, "queue full", func() bool { return p.Stats().Depth == 1 })
+
+	// A new key must be rejected, promptly.
+	start := time.Now()
+	_, err := q.Do(context.Background(), "overflow", blocker)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("rejection took %v, want prompt", d)
+	}
+	if got := p.Stats().Shed; got != 1 {
+		t.Errorf("Shed = %d, want 1", got)
+	}
+
+	// Joining the pending or the running job adds no work: allowed.
+	joined := make(chan error, 2)
+	go func() { _, err := q.Do(context.Background(), "queued", blocker); joined <- err }()
+	go func() { _, err := q.Do(context.Background(), "running", blocker); joined <- err }()
+	waitFor(t, "dedup joins at the bound", func() bool { return p.Stats().DedupHits >= 2 })
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-joined; err != nil {
+			t.Errorf("dedup join failed at the bound: %v", err)
+		}
+	}
+	// After the queue drains, fresh submissions pass again.
+	if _, err := q.Do(context.Background(), "after", func(context.Context) (any, error) { return 1, nil }); err != nil {
+		t.Errorf("submission after drain failed: %v", err)
+	}
+}
+
+// TestQueueWaitTimeout: a pending job nobody dispatches within
+// QueueWait is shed — every waiter gets ErrQueueTimeout, the key is
+// freed, and the pool's bookkeeping (jobs map, pending count) is clean.
+func TestQueueWaitTimeout(t *testing.T) {
+	p := NewPoolWith(PoolConfig{Workers: 1, QueueWait: 30 * time.Millisecond})
+	q := p.Queue(0)
+
+	release := make(chan struct{})
+	go q.Do(context.Background(), "hog", func(context.Context) (any, error) { <-release; return "v", nil })
+	waitFor(t, "worker busy", func() bool { return p.Stats().Inflight == 1 })
+
+	var started atomic.Int64
+	const waiters = 3
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := q.Do(context.Background(), "doomed", func(context.Context) (any, error) {
+				started.Add(1)
+				return nil, nil
+			})
+			errs <- err
+		}()
+	}
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, ErrQueueTimeout) {
+			t.Fatalf("waiter err = %v, want ErrQueueTimeout", err)
+		}
+	}
+	if n := started.Load(); n != 0 {
+		t.Errorf("shed job ran %d times, want 0", n)
+	}
+	if got := p.Stats().Shed; got != 1 {
+		t.Errorf("Shed = %d, want 1", got)
+	}
+
+	// The key is free again: a fresh submission under the same key runs
+	// once the worker frees up.
+	close(release)
+	if v, err := q.Do(context.Background(), "doomed", func(context.Context) (any, error) { return "second life", nil }); err != nil || v != "second life" {
+		t.Errorf("resubmission after shed = %v, %v", v, err)
+	}
+	s := p.Stats()
+	if s.Depth != 0 || s.Inflight != 0 {
+		t.Errorf("pool not clean after shed: %+v", s)
+	}
+}
+
+// TestQueueWaitTimerStoppedOnDispatch: a job that reaches a worker
+// before QueueWait expires completes normally and is never shed.
+func TestQueueWaitTimerStoppedOnDispatch(t *testing.T) {
+	p := NewPoolWith(PoolConfig{Workers: 1, QueueWait: 20 * time.Millisecond})
+	q := p.Queue(0)
+	v, err := q.Do(context.Background(), "quick", func(context.Context) (any, error) {
+		time.Sleep(60 * time.Millisecond) // outlive QueueWait while running
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = %v, %v; want ok, nil", v, err)
+	}
+	if got := p.Stats().Shed; got != 0 {
+		t.Errorf("Shed = %d, want 0 (job was dispatched, not shed)", got)
+	}
+}
+
+// TestQueueWaitAbandonRace: waiters abandoning a pending job around
+// the same time its shed timer fires must not double-free anything.
+func TestQueueWaitAbandonRace(t *testing.T) {
+	p := NewPoolWith(PoolConfig{Workers: 1, QueueWait: time.Millisecond})
+	q := p.Queue(0)
+
+	release := make(chan struct{})
+	go q.Do(context.Background(), "hog", func(context.Context) (any, error) { <-release; return nil, nil })
+	waitFor(t, "worker busy", func() bool { return p.Stats().Inflight == 1 })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*time.Millisecond)
+			defer cancel()
+			_, err := q.Do(ctx, fmt.Sprintf("k%d", i), func(context.Context) (any, error) { return nil, nil })
+			if err != nil && !errors.Is(err, ErrQueueTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("unexpected err: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	waitFor(t, "pool drains", func() bool {
+		s := p.Stats()
+		return s.Depth == 0 && s.Inflight == 0
+	})
+}

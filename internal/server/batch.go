@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,8 +12,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -19,6 +23,9 @@ import (
 // is well under this; the cap exists so a malformed request cannot
 // queue unbounded work.
 const maxBatchExperiments = 256
+
+// maxBatchBodyBytes bounds the POST /v1/batch body.
+const maxBatchBodyBytes = 1 << 20
 
 // batchRequest is the POST /v1/batch body. GET encodes the same
 // fields as query parameters (experiments as a comma-separated list).
@@ -52,14 +59,19 @@ type batchLine struct {
 	Error     *errorDetail `json:"error,omitempty"`
 }
 
-// parseBatchRequest extracts a batchRequest from either encoding.
-func parseBatchRequest(r *http.Request) (batchRequest, error) {
+// parseBatchRequest extracts a batchRequest from either encoding. The
+// ResponseWriter is needed because MaxBytesReader uses it to close the
+// connection when the body limit trips (passing nil would panic there
+// in newer net/http, and silently skip the close in older ones); an
+// oversized body surfaces as *http.MaxBytesError for the caller to map
+// to 413.
+func parseBatchRequest(w http.ResponseWriter, r *http.Request) (batchRequest, error) {
 	var req batchRequest
 	if r.Method == http.MethodPost {
 		if len(r.URL.RawQuery) > 0 {
 			return req, fmt.Errorf("POST /v1/batch takes a JSON body, not query parameters")
 		}
-		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			return req, fmt.Errorf("decoding batch body: %w", err)
@@ -143,8 +155,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
-	req, err := parseBatchRequest(r)
+	req, err := parseBatchRequest(w, r)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("batch body exceeds the %d-byte limit", tooLarge.Limit), nil)
+			return
+		}
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
@@ -206,6 +224,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			start := time.Now()
+			// Batch requests enter the admission gate at cost zero;
+			// each item pays as the stream reaches it, so one saturated
+			// client sheds individual lines while healthy items keep
+			// streaming instead of the whole batch 429ing up front.
+			if dec := s.adm.Admit(clientKey(r), admission.Cost(opts.Instructions, 1)); !dec.OK {
+				emit(batchLine{ID: id, Status: "error",
+					ElapsedMS: time.Since(start).Milliseconds(),
+					Error: &errorDetail{Code: codeTooManyRequests,
+						Message: "item shed: per-client rate limit exceeded"}})
+				return
+			}
 			// Each item gets its own trace (nil tracer: no-op), so a
 			// single slow experiment is findable in /v1/traces without
 			// wading through the whole batch's tree. The parent_trace
@@ -222,8 +251,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				s.cfg.Log.Warn("batch item failed", "experiment", id, "err", err)
 				code := codeInternal
-				if isContextErr(err) {
+				switch {
+				case errors.Is(err, sched.ErrQueueFull):
+					s.adm.CountRejection(admission.ReasonQueueFull)
+					code = codeTooManyRequests
+				case errors.Is(err, sched.ErrQueueTimeout):
+					s.adm.CountRejection(admission.ReasonQueueTimeout)
+					code = codeTooManyRequests
+				case isContextErr(err):
 					code = codeCanceled
+					if r.Context().Err() == context.DeadlineExceeded {
+						code = codeDeadlineExceeded
+					}
 				}
 				line = batchLine{ID: id, Status: "error", TraceID: isp.TraceID(),
 					ElapsedMS: elapsed.Milliseconds(),

@@ -51,10 +51,16 @@ func (g *group) do(ctx context.Context, key string, fn func(context.Context) (an
 			go func() {
 				v, err := fn(fctx)
 				g.mu.Lock()
-				delete(g.calls, key)
-				g.mu.Unlock()
+				// Publish the result and wake waiters *before* the key
+				// leaves the map, under the same critical section. With
+				// the delete first (and the publish outside the lock), a
+				// caller arriving in the gap found no flight and led a
+				// duplicate computation of a result that was already
+				// done.
 				c.val, c.err = v, err
 				close(c.done)
+				delete(g.calls, key)
+				g.mu.Unlock()
 				cancel()
 			}()
 		} else {

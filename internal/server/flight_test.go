@@ -158,3 +158,70 @@ func TestFlightCancellation(t *testing.T) {
 		t.Fatalf("fresh call after canceled flight = %v, %v", v, err)
 	}
 }
+
+// TestFlightResultPublishedBeforeKeyDeleted is the regression test for
+// the coalescing gap: the flight goroutine used to delete the key from
+// g.calls (under the lock) before publishing c.val/c.err and closing
+// done (outside it), so a caller arriving in that window found no
+// flight *and* no readable result, and led a duplicate computation.
+// The fix publishes and closes under the same critical section as the
+// delete, making "key absent under g.mu" imply "result readable under
+// g.mu". This test asserts exactly that contract: once the key is
+// observed absent, it reads the result with no synchronization beyond
+// the group's own lock. Under the pre-fix ordering that read races
+// with the flight's unlocked publish — the race detector flags it on
+// the first trial, and the done-channel check below catches the
+// re-ordering directly whenever the scheduler parks the flight
+// goroutine inside its delete-to-close window.
+func TestFlightResultPublishedBeforeKeyDeleted(t *testing.T) {
+	g := newGroup()
+	for trial := 0; trial < 200; trial++ {
+		release := make(chan struct{})
+		go func() {
+			_, _, _ = g.do(context.Background(), "k", func(context.Context) (any, error) {
+				<-release
+				return "v", nil
+			})
+		}()
+
+		// Wait for the flight to register, keep its call handle.
+		var c *call
+		deadline := time.Now().Add(10 * time.Second)
+		for c == nil {
+			g.mu.Lock()
+			c = g.calls["k"]
+			g.mu.Unlock()
+			if time.Now().After(deadline) {
+				t.Fatal("flight never registered")
+			}
+		}
+
+		close(release)
+		for {
+			g.mu.Lock()
+			_, present := g.calls["k"]
+			if present {
+				g.mu.Unlock()
+				continue
+			}
+			// Key gone: the published result must be readable right
+			// now, under this same lock acquisition — the exact claim
+			// a caller arriving in the window depends on.
+			val, err := c.val, c.err
+			published := false
+			select {
+			case <-c.done:
+				published = true
+			default:
+			}
+			g.mu.Unlock()
+			if !published {
+				t.Fatalf("trial %d: key deleted before the result was published", trial)
+			}
+			if val != "v" || err != nil {
+				t.Fatalf("trial %d: published result = %v, %v", trial, val, err)
+			}
+			break
+		}
+	}
+}

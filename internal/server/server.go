@@ -24,7 +24,9 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -81,6 +84,29 @@ type Config struct {
 	// IdleTimeout bounds how long a keep-alive connection may sit idle
 	// between requests. Defaults to 2m.
 	IdleTimeout time.Duration
+	// MaxHeaderBytes bounds per-connection request-header memory.
+	// Defaults to 64 KiB.
+	MaxHeaderBytes int
+	// RateLimit is the per-client admission refill rate in tokens per
+	// second (one token = one experiment at default fidelity; see
+	// admission.Cost). 0 (the default) disables rate limiting.
+	RateLimit float64
+	// Burst is the per-client admission bucket capacity. <= 0 defaults
+	// to max(RateLimit, 1) when rate limiting is on.
+	Burst float64
+	// MaxInFlight bounds concurrently admitted compute requests across
+	// all clients. 0 disables the limit.
+	MaxInFlight int
+	// MaxQueue bounds the scheduler's pending queue; submissions beyond
+	// it are shed with 429 instead of queueing without bound. 0 means
+	// unbounded.
+	MaxQueue int
+	// QueueWait bounds how long a scheduled job may sit queued before
+	// being shed (429). 0 disables.
+	QueueWait time.Duration
+	// RequestTimeout is the server-side deadline for compute requests;
+	// a request still working when it expires answers 504. 0 disables.
+	RequestTimeout time.Duration
 	// Store, when set, backs every Lab the server builds: measurements
 	// are content-addressed, deduplicated across fidelities, and — when
 	// the store has a snapshot path — survive restarts, so a warm
@@ -117,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 64 << 10
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -178,9 +207,10 @@ type Server struct {
 	started time.Time
 
 	flight *group
-	sem    chan struct{} // worker-pool slots
-	pool   *sched.Pool   // shared simulation scheduler
-	queue  *sched.Queue  // the server's queue on pool (uncapped)
+	sem    chan struct{}         // worker-pool slots
+	pool   *sched.Pool           // shared simulation scheduler
+	queue  *sched.Queue          // the server's queue on pool (uncapped)
+	adm    *admission.Controller // overload-protection gate
 
 	// draining is set once Shutdown begins; computation endpoints then
 	// answer 503 instead of starting work the drain deadline would
@@ -216,7 +246,18 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		flight:  newGroup(),
 		sem:     make(chan struct{}, cfg.Workers),
-		pool:    sched.NewPool(cfg.SimWorkers, cfg.Metrics),
+		pool: sched.NewPoolWith(sched.PoolConfig{
+			Workers:   cfg.SimWorkers,
+			MaxQueue:  cfg.MaxQueue,
+			QueueWait: cfg.QueueWait,
+			Metrics:   cfg.Metrics,
+		}),
+		adm: admission.New(admission.Config{
+			Rate:        cfg.RateLimit,
+			Burst:       cfg.Burst,
+			MaxInFlight: cfg.MaxInFlight,
+			Metrics:     cfg.Metrics,
+		}),
 		results: newLRU(cfg.ResultCacheSize),
 		labs:    newLRU(cfg.LabCacheSize),
 	}
@@ -255,6 +296,7 @@ func (s *Server) Serve(l net.Listener) error {
 		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
 		ReadTimeout:       s.cfg.ReadTimeout,
 		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
 	s.httpMu.Lock()
 	s.httpSrv = srv
@@ -406,19 +448,24 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) 
 
 // parseRunOptions extracts ?instructions= and ?warmup= and validates
 // them through machine.RunOptions.Validate. Unknown query parameters
-// are rejected so typos fail loudly instead of silently measuring at
-// default fidelity.
+// and duplicated ones are rejected so typos fail loudly instead of
+// silently measuring at default fidelity, and range errors are caught
+// right here at parse time — a negative value must not fall through to
+// Validate's second-hand message.
 func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
 	var opts machine.RunOptions
 	q := r.URL.Query()
-	for k := range q {
+	for k, vs := range q {
 		if k != "instructions" && k != "warmup" {
 			return opts, fmt.Errorf("unknown query parameter %q (valid: instructions, warmup)", k)
+		}
+		if len(vs) > 1 {
+			return opts, fmt.Errorf("query parameter %q given %d times, want at most once", k, len(vs))
 		}
 	}
 	if v := q.Get("instructions"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n == 0 {
+		if err != nil || n < 1 {
 			return opts, fmt.Errorf("instructions=%q: must be a positive integer", v)
 		}
 		if n > maxInstructions {
@@ -428,8 +475,8 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
 	}
 	if v := q.Get("warmup"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil {
-			return opts, fmt.Errorf("warmup=%q: must be an integer", v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("warmup=%q: must be a non-negative integer", v)
 		}
 		if n > maxInstructions {
 			return opts, fmt.Errorf("warmup=%d exceeds the maximum %d", n, maxInstructions)
@@ -451,6 +498,9 @@ const (
 	codeDraining          = "draining"
 	codeCanceled          = "canceled"
 	codeInternal          = "internal"
+	codeTooManyRequests   = "too_many_requests"
+	codeDeadlineExceeded  = "deadline_exceeded"
+	codeBodyTooLarge      = "body_too_large"
 )
 
 // errorEnvelope is the uniform error response body.
@@ -474,17 +524,61 @@ func writeError(w http.ResponseWriter, status int, code, message string, known [
 }
 
 // writeComputeError maps a computation failure onto the envelope:
-// cancellations (the client has gone away, or the drain abandoned the
-// wait) get 499/canceled, everything else 500/internal.
-func (s *Server) writeComputeError(w http.ResponseWriter, what string, err error) {
+// scheduler sheds (queue full, queue-wait timeout) get
+// 429/too_many_requests with a Retry-After, a server-side deadline
+// expiry gets 504/deadline_exceeded, other cancellations (the client
+// has gone away, or the drain abandoned the wait) get 499/canceled,
+// and everything else 500/internal.
+func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, what string, err error) {
 	s.cfg.Log.Error("compute failed", "what", what, "err", err)
-	if isContextErr(err) {
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		s.adm.CountRejection(admission.ReasonQueueFull)
+		s.writeShed(w, err.Error(), 0)
+	case errors.Is(err, sched.ErrQueueTimeout):
+		s.adm.CountRejection(admission.ReasonQueueTimeout)
+		s.writeShed(w, err.Error(), 0)
+	case isContextErr(err):
+		if r.Context().Err() == context.DeadlineExceeded {
+			// The server-side deadline fired, not the client: own it.
+			writeError(w, http.StatusGatewayTimeout, codeDeadlineExceeded,
+				"request exceeded the server-side deadline", nil)
+			return
+		}
 		// 499: the nginx "client closed request" convention; the
 		// client is usually gone, but keep the wire honest.
 		writeError(w, 499, codeCanceled, err.Error(), nil)
-		return
+	default:
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), nil)
 	}
-	writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), nil)
+}
+
+// retryAfterSeconds turns a rejection into integer Retry-After
+// seconds: at least the admission layer's own refill estimate, at
+// least the time the scheduler's current backlog needs to clear one
+// queue slot (1 + depth/workers, each job assumed to take on the
+// order of a second), clamped to [1s, 5m].
+func (s *Server) retryAfterSeconds(hint time.Duration) int {
+	secs := int(math.Ceil(hint.Seconds()))
+	st := s.pool.Stats()
+	if byDepth := 1 + st.Depth/s.pool.Workers(); byDepth > secs {
+		secs = byDepth
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+// writeShed answers 429/too_many_requests with a Retry-After header.
+// hint, when nonzero, is the admission layer's own earliest-retry
+// estimate; the queue-depth floor applies either way.
+func (s *Server) writeShed(w http.ResponseWriter, message string, hint time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(hint)))
+	writeError(w, http.StatusTooManyRequests, codeTooManyRequests, message, nil)
 }
 
 // refuseDraining answers 503 when the server is shutting down.
@@ -568,7 +662,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	telemetry.FromContext(r.Context()).SetAttr("experiment", id)
 	val, cached, coalesced, err := s.fetch(r.Context(), id, opts)
 	if err != nil {
-		s.writeComputeError(w, id, err)
+		s.writeComputeError(w, r, id, err)
 		return
 	}
 	canon := opts.Canonical()
@@ -596,7 +690,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	telemetry.FromContext(r.Context()).SetAttr("experiment", "report")
 	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts)
 	if err != nil {
-		s.writeComputeError(w, "report", err)
+		s.writeComputeError(w, r, "report", err)
 		return
 	}
 	canon := opts.Canonical()
@@ -637,6 +731,67 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// clientKey identifies the client for per-client admission budgets:
+// the X-API-Key header when present, else the connection's remote IP
+// (port stripped, so one host's keep-alive connections share a
+// bucket).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// estimateCost prices a request for admission before any work starts,
+// from nothing but the route and query: experiments charge for one
+// workload, the report for every registered one — both scaled by the
+// requested fidelity. Batch requests enter at zero; their items are
+// priced individually as the stream reaches them. Unparseable options
+// price at the default (the 400 comes later, after admission).
+func (s *Server) estimateCost(r *http.Request, endpoint string) float64 {
+	instr, _ := strconv.Atoi(r.URL.Query().Get("instructions"))
+	switch endpoint {
+	case "/v1/experiments/{id}":
+		return admission.Cost(instr, 1)
+	case "/v1/report":
+		return admission.Cost(instr, len(experiments.Registry()))
+	}
+	return 0
+}
+
+// admit runs the admission gate for one compute request: claim a
+// global in-flight slot, then charge the client's token bucket. It
+// writes the 429 itself on rejection. The returned release function
+// (nil on rejection) must be called when the request finishes; the
+// returned span timing lands on the request's trace as an
+// admission.wait span so admission overhead is visible per request.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (release func(), ok bool) {
+	start := time.Now()
+	record := func(decision string) {
+		if sp := telemetry.FromContext(r.Context()); sp != nil {
+			sp.Record("admission.wait", start, time.Now(),
+				"client", clientKey(r), "decision", decision)
+		}
+	}
+	if !s.adm.AcquireInFlight() {
+		record(admission.ReasonInFlight)
+		s.writeShed(w, "too many requests in flight; retry later", 0)
+		return nil, false
+	}
+	cost := s.estimateCost(r, endpoint)
+	if dec := s.adm.Admit(clientKey(r), cost); !dec.OK {
+		s.adm.ReleaseInFlight()
+		record(dec.Reason)
+		s.writeShed(w, fmt.Sprintf("rate limit exceeded (request cost %.3g tokens)", cost), dec.RetryAfter)
+		return nil, false
+	}
+	record("admitted")
+	return s.adm.ReleaseInFlight, true
+}
+
 // instrument wraps a handler with request counting, latency recording,
 // and an access log line, labelled by route pattern (never by raw
 // path, to keep metric cardinality bounded). When traced is set and
@@ -646,12 +801,23 @@ func (w *statusWriter) Flush() {
 // (flights, scheduler jobs, store computes, analysis stages) lands in
 // one span tree. With no Tracer the traced path adds nothing: no
 // header, no allocations, byte-identical responses.
+//
+// Traced endpoints are exactly the compute endpoints, so the same flag
+// also arms overload protection: the admission gate (in-flight slot +
+// per-client token charge) and the server-side request deadline. The
+// observability surface stays ungated — a saturated daemon must still
+// answer /v1/status and /metrics.
 func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		var span *telemetry.Span
 		if traced {
+			if s.cfg.RequestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 			var ctx context.Context
 			ctx, span = s.cfg.Tracer.StartTrace(r.Context(), "http.request",
 				r.Header.Get("X-Request-Id"),
@@ -661,7 +827,14 @@ func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) ht
 				r = r.WithContext(ctx)
 			}
 		}
-		h(sw, r)
+		if !traced {
+			h(sw, r)
+		} else if release, ok := s.admit(sw, r, endpoint); ok {
+			func() {
+				defer release()
+				h(sw, r)
+			}()
+		}
 		if span != nil {
 			span.SetAttr("status", strconv.Itoa(sw.code))
 			span.End()

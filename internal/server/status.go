@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/telemetry"
 )
 
@@ -37,10 +38,11 @@ type statusResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
 
-	Store *storeStatus `json:"store,omitempty"`
-	Sched schedStatus  `json:"sched"`
-	Cache cacheStatus  `json:"cache"`
-	Trace traceStatus  `json:"tracing"`
+	Store     *storeStatus       `json:"store,omitempty"`
+	Sched     schedStatus        `json:"sched"`
+	Cache     cacheStatus        `json:"cache"`
+	Trace     traceStatus        `json:"tracing"`
+	Admission admission.Snapshot `json:"admission"`
 }
 
 type storeStatus struct {
@@ -55,9 +57,11 @@ type storeStatus struct {
 type schedStatus struct {
 	Workers   int   `json:"workers"`
 	Depth     int   `json:"queue_depth"`
+	MaxQueue  int   `json:"max_queue,omitempty"`
 	Inflight  int   `json:"inflight"`
 	DedupHits int64 `json:"dedup_hits"`
 	Started   int64 `json:"started"`
+	Shed      int64 `json:"shed,omitempty"`
 }
 
 type cacheStatus struct {
@@ -114,10 +118,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.Sched = schedStatus{
 		Workers:   s.pool.Workers(),
 		Depth:     ps.Depth,
+		MaxQueue:  ps.MaxQueue,
 		Inflight:  ps.Inflight,
 		DedupHits: ps.DedupHits,
 		Started:   ps.Started,
+		Shed:      ps.Shed,
 	}
+	resp.Admission = s.adm.Snapshot()
 	s.mu.Lock()
 	nResults, nLabs := s.results.len(), s.labs.len()
 	s.mu.Unlock()

@@ -65,8 +65,11 @@ func main() {
 	base := "http://" + addr
 
 	// -trace-slow high enough that the daemon never dumps a full span
-	// tree into the CI log; the flag still goes through parsing.
-	daemon := exec.Command(bin, "-addr", addr, "-trace-slow", "5m")
+	// tree into the CI log; the flag still goes through parsing. The
+	// near-zero -rate-limit gives every client a one-token bucket that
+	// essentially never refills, so the second compute request below
+	// must be shed — driving the admission path end to end.
+	daemon := exec.Command(bin, "-addr", addr, "-trace-slow", "5m", "-rate-limit", "0.01")
 	daemon.Stdout, daemon.Stderr = os.Stdout, os.Stderr
 	if err := daemon.Start(); err != nil {
 		fatalf("starting spec17d: %v", err)
@@ -167,5 +170,29 @@ func main() {
 		}
 	}
 	fmt.Println("smoke: /v1/traces has the report trace with all pipeline stages")
+
+	// The first report spent this client's only admission token; the
+	// next compute request must be shed: 429, the too_many_requests
+	// envelope, and an integer Retry-After.
+	resp, err = http.Get(base + "/v1/report?instructions=2000")
+	if err != nil {
+		fatalf("rejected report: %v", err)
+	}
+	rbody, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		fatalf("rate-limited report: status %d, want 429: %s", resp.StatusCode, rbody)
+	}
+	if !strings.Contains(string(rbody), `"too_many_requests"`) {
+		fatalf("rate-limited report: body %s lacks too_many_requests", rbody)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" || strings.ContainsAny(ra, ".") {
+		fatalf("rate-limited report: Retry-After %q, want integer seconds", ra)
+	}
+	if _, err := fmt.Sscanf(ra, "%d", new(int)); err != nil {
+		fatalf("rate-limited report: Retry-After %q does not parse: %v", ra, err)
+	}
+	fmt.Println("smoke: admission shed the over-budget request with 429 + Retry-After", ra)
 	fmt.Println("smoke: PASS")
 }
