@@ -9,9 +9,10 @@
 GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
              ./internal/cluster/... ./internal/stats/... ./internal/store/... \
-             ./internal/sched/... ./internal/telemetry/... ./internal/admission/...
+             ./internal/sched/... ./internal/telemetry/... ./internal/admission/... \
+             ./internal/engine/...
 
-.PHONY: ci fmt-check vet build test race race-all bench smoke clean
+.PHONY: ci fmt-check vet build test race race-all bench bench-snapshot bench-gate smoke clean
 
 ci: fmt-check vet build test race
 
@@ -36,6 +37,17 @@ race-all:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-snapshot measures the key performance paths (characterization
+# fan-out, store-hit, both measurement engines over the full registry)
+# and writes the next committed BENCH_<n>.json. bench-gate re-measures
+# and fails on >30% regression against the last snapshot, or if the
+# analytic engine's registry speedup drops below its contractual 50x.
+bench-snapshot:
+	$(GO) run ./scripts/benchsnap
+
+bench-gate:
+	$(GO) run ./scripts/bench_gate
 
 # smoke boots a real spec17d binary and walks the observability
 # surface: healthz, status, metrics, one traced report, and the

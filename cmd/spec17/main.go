@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spec17 [-exp id[,id...]] [-instructions n] [-warmup n] [-width n] [-store file]
+//	spec17 [-exp id[,id...]] [-instructions n] [-warmup n] [-width n] [-store file] [-engine exact|analytic]
 //
 // Experiment ids: table1 table2 fig1 fig2 fig3 fig4 table5 fig5 fig6
 // table6 fig7 fig8 table7 ratespeed fig9 fig10 table8 fig11 fig12
@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/plot"
@@ -43,8 +44,22 @@ func main() {
 		jsonOut   = flag.String("json", "", "write every experiment's result as JSON to this file ('-' = stdout) and exit")
 		svgDir    = flag.String("svg", "", "write the paper's figures as SVG files into this directory and exit")
 		storePath = flag.String("store", "", "measurement-store snapshot file: loaded before measuring, persisted on exit")
+		engFlag   = flag.String("engine", "exact", "measurement engine: exact (trace-driven simulation) or analytic (closed-form estimator)")
 	)
 	flag.Parse()
+
+	// "auto" is a serving policy (analytic now, exact in the
+	// background); a one-shot batch run has no background to upgrade in,
+	// so the CLI only accepts the two concrete tiers.
+	tier, err := engine.ParseTier(*engFlag)
+	if err != nil || tier == engine.TierAuto {
+		fmt.Fprintf(os.Stderr, "spec17: -engine=%q: must be exact or analytic\n", *engFlag)
+		os.Exit(2)
+	}
+	var eng engine.Engine
+	if tier == engine.TierAnalytic {
+		eng = engine.Analytic{}
+	}
 
 	opts := machine.RunOptions{
 		Instructions:       *instrs,
@@ -72,7 +87,7 @@ func main() {
 	// asked for, however long the queue, unlike the daemon's shed-early
 	// policy.
 	pool := sched.NewPoolWith(sched.PoolConfig{Workers: *parallel})
-	lab := experiments.NewLabWithSched(opts, st, pool.Queue(0))
+	lab := experiments.NewLabWithEngine(opts, st, pool.Queue(0), eng)
 
 	if err := run(lab, *exp, *width, *jsonOut, *svgDir); err != nil {
 		// Persist what was measured even on failure: the next run

@@ -7,6 +7,7 @@
 //
 //	spec17d [-addr :8417] [-cache n] [-labs n] [-workers n]
 //	        [-sim-workers n] [-batch-concurrency n]
+//	        [-engine exact|analytic|auto] [-upgrade-workers n]
 //	        [-store file] [-checkpoint d] [-drain d]
 //	        [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]
 //	        [-rate-limit r] [-burst n] [-max-inflight n] [-max-queue n]
@@ -44,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -58,6 +60,8 @@ type daemonConfig struct {
 	workers    int
 	simWorkers int
 	batchConc  int
+	eng        engine.Tier
+	upgradeWks int
 	storePath  string
 	checkpoint time.Duration
 	drain      time.Duration
@@ -92,6 +96,8 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&cfg.workers, "workers", 2, "max concurrent lab computations")
 	fs.IntVar(&cfg.simWorkers, "sim-workers", 0, "max concurrent leaf simulations across all labs (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.batchConc, "batch-concurrency", 4, "max experiments one batch request evaluates at once")
+	engFlag := fs.String("engine", "exact", "default measurement engine for requests without ?engine= (exact, analytic, auto)")
+	fs.IntVar(&cfg.upgradeWks, "upgrade-workers", 2, "max concurrent background exact upgrades of analytically-served auto requests (-1 disables)")
 	fs.StringVar(&cfg.storePath, "store", "", "measurement-store snapshot file: loaded at boot (warm start), persisted on shutdown")
 	fs.DurationVar(&cfg.checkpoint, "checkpoint", 0, "background store-checkpoint interval (0 disables; requires -store)")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -118,6 +124,13 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		return nil, err
 	}
 	cfg.logLevel = lv
+	tier, err := engine.ParseTier(*engFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "invalid value %q for flag -engine: %v\n", *engFlag, err)
+		fs.Usage()
+		return nil, err
+	}
+	cfg.eng = tier
 	for _, check := range []struct {
 		name string
 		bad  bool
@@ -190,6 +203,8 @@ func main() {
 		Workers:           cfg.workers,
 		SimWorkers:        cfg.simWorkers,
 		BatchConcurrency:  cfg.batchConc,
+		DefaultEngine:     cfg.eng,
+		UpgradeWorkers:    cfg.upgradeWks,
 		ReadHeaderTimeout: cfg.readHdrTO,
 		ReadTimeout:       cfg.readTO,
 		IdleTimeout:       cfg.idleTO,

@@ -102,6 +102,13 @@ func runDaemon(snapshot string) daemonStats {
 	fmt.Printf("GET %s\n", batch)
 	streamBatch(base + batch)
 
+	// Interactive traffic: ask for an experiment with engine=auto. The
+	// first answer is served by the closed-form analytic engine (no
+	// simulation, milliseconds) while a background worker re-measures
+	// exactly; polling the same URL flips to the exact tier, and the
+	// flipped answer is byte-identical to a direct engine=exact request.
+	interactiveTraffic(base)
+
 	stats.storeMisses = metric(base, "spec17_store_misses_total")
 	fmt.Printf("store: hits %g, misses (simulations) %g, sched dedup hits %g\n",
 		metric(base, "spec17_store_hits_total"), stats.storeMisses,
@@ -116,6 +123,61 @@ func runDaemon(snapshot string) daemonStats {
 		log.Fatal(err)
 	}
 	return stats
+}
+
+// interactiveTraffic demonstrates the auto engine tier: analytic
+// first answer, background exact upgrade, converged result identical
+// to a direct exact request.
+func interactiveTraffic(base string) {
+	url := base + "/v1/experiments/fig9?" + fidelity
+	type engineResult struct {
+		Engine         string          `json:"engine"`
+		UpgradePending bool            `json:"upgrade_pending"`
+		Cached         bool            `json:"cached"`
+		Result         json.RawMessage `json:"result"`
+	}
+	fetchEngine := func(u string) (engineResult, time.Duration) {
+		start := time.Now()
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET %s: status %d", u, resp.StatusCode)
+		}
+		var er engineResult
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			log.Fatal(err)
+		}
+		return er, time.Since(start)
+	}
+
+	first, elapsed := fetchEngine(url + "&engine=auto")
+	fmt.Printf("GET /v1/experiments/fig9&engine=auto      %8s engine=%s upgrade_pending=%v\n",
+		elapsed.Round(time.Millisecond), first.Engine, first.UpgradePending)
+
+	polls := 0
+	deadline := time.Now().Add(60 * time.Second)
+	upgraded := first
+	for upgraded.Engine != "exact" {
+		if time.Now().After(deadline) {
+			log.Fatalf("auto never upgraded to exact (still %s after %d polls)", upgraded.Engine, polls)
+		}
+		time.Sleep(100 * time.Millisecond)
+		upgraded, elapsed = fetchEngine(url + "&engine=auto")
+		polls++
+	}
+	fmt.Printf("GET /v1/experiments/fig9&engine=auto      %8s engine=%s after %d polls (background upgrade landed)\n",
+		elapsed.Round(time.Millisecond), upgraded.Engine, polls)
+
+	direct, elapsed := fetchEngine(url + "&engine=exact")
+	same := string(direct.Result) == string(upgraded.Result)
+	fmt.Printf("GET /v1/experiments/fig9&engine=exact     %8s cached=%v identical-to-upgraded=%v\n",
+		elapsed.Round(time.Millisecond), direct.Cached, same)
+	if !same {
+		log.Fatal("auto-upgraded result differs from direct exact result")
+	}
 }
 
 // streamBatch reads a batch's NDJSON stream line by line, printing

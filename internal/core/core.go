@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -70,8 +71,18 @@ func Characterize(ctx context.Context, entries []Entry, machines []*machine.Mach
 // bit-identical to the unscheduled path. A nil Runner falls back to
 // CharacterizeStored.
 func CharacterizeScheduled(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store, r Runner) (*Characterization, error) {
+	return CharacterizeWith(ctx, entries, machines, opts, st, r, nil)
+}
+
+// CharacterizeWith is the fully general characterization entry point:
+// a shared store (nil = measure directly), a shared Runner (nil = a
+// per-call worker pool), and a measurement engine (nil = the exact
+// trace-driven engine). Every (entry, machine) measurement is keyed by
+// the engine's tier, so analytic and exact records coexist in one
+// store without ever answering for each other.
+func CharacterizeWith(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store, r Runner, eng engine.Engine) (*Characterization, error) {
 	if r == nil {
-		return CharacterizeStored(ctx, entries, machines, opts, st)
+		return characterizeStored(ctx, entries, machines, opts, st, eng)
 	}
 	c, err := newCharacterization(entries, machines)
 	if err != nil {
@@ -92,9 +103,9 @@ func CharacterizeScheduled(ctx context.Context, entries []Entry, machines []*mac
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				key := store.KeyFor(m, e.Workload, opts)
+				key := store.KeyForEngine(m, e.Workload, opts, tierOf(eng))
 				v, err := r.Do(ctx, key.ID(), func(jctx context.Context) (any, error) {
-					return measure(jctx, st, m, e.Workload, opts)
+					return measureWith(jctx, st, m, e.Workload, opts, eng)
 				})
 				var rc *machine.RawCounts
 				var sample *counters.Sample
@@ -167,6 +178,10 @@ func newCharacterization(entries []Entry, machines []*machine.Machine) (*Charact
 // deterministic, so the result is bit-identical to a store-free run.
 // A nil store measures directly.
 func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store) (*Characterization, error) {
+	return characterizeStored(ctx, entries, machines, opts, st, nil)
+}
+
+func characterizeStored(ctx context.Context, entries []Entry, machines []*machine.Machine, opts machine.RunOptions, st *store.Store, eng engine.Engine) (*Characterization, error) {
 	c, err := newCharacterization(entries, machines)
 	if err != nil {
 		return nil, err
@@ -197,7 +212,7 @@ func CharacterizeStored(ctx context.Context, entries []Entry, machines []*machin
 				if ctx.Err() != nil {
 					continue // canceled: drain the queue without measuring
 				}
-				rc, err := measure(ctx, st, j.mach, j.entry.Workload, opts)
+				rc, err := measureWith(ctx, st, j.mach, j.entry.Workload, opts, eng)
 				var sample *counters.Sample
 				if err == nil {
 					sample, err = counters.FromRaw(j.mach.Name(), j.mach.Config().HasRAPL, rc)
@@ -240,14 +255,36 @@ feed:
 // one is present so concurrent and repeated characterizations share
 // measurements.
 func measure(ctx context.Context, st *store.Store, m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
-	if st == nil {
-		return Simulate(ctx, m, w, opts)
+	return measureWith(ctx, st, m, w, opts, nil)
+}
+
+// tierOf names an engine's store-key tier; the nil engine is exact.
+func tierOf(eng engine.Engine) string {
+	if eng == nil {
+		return string(engine.TierExact)
 	}
-	return st.GetOrCompute(ctx, store.KeyFor(m, w, opts), func(fctx context.Context) (*machine.RawCounts, error) {
+	return string(eng.Tier())
+}
+
+// measureWith is measure on an explicit engine. A nil engine takes the
+// historical Simulate path (bit-identical to engine.Exact, and keyed
+// identically in the store).
+func measureWith(ctx context.Context, st *store.Store, m *machine.Machine, w machine.Workload, opts machine.RunOptions, eng engine.Engine) (*machine.RawCounts, error) {
+	run := func(rctx context.Context) (*machine.RawCounts, error) {
+		if eng == nil {
+			return Simulate(rctx, m, w, opts)
+		}
+		return eng.Measure(rctx, m, w, opts)
+	}
+	if st == nil {
+		return run(ctx)
+	}
+	key := store.KeyForEngine(m, w, opts, tierOf(eng))
+	return st.GetOrCompute(ctx, key, func(fctx context.Context) (*machine.RawCounts, error) {
 		if err := fctx.Err(); err != nil {
 			return nil, err // every waiter left before the run began
 		}
-		return Simulate(fctx, m, w, opts)
+		return run(fctx)
 	})
 }
 

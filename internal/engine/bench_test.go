@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// registrySweep measures every registry workload on every fleet
+// machine at default fidelity (400k instructions) — one op is the
+// full sweep. The exact/analytic ns-per-op ratio is the analytic
+// engine's headline number; `make bench-gate` pins it at ≥50×.
+func benchmarkRegistrySweep(b *testing.B, eng Engine) {
+	fleet, err := machine.Fleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	profiles := workloads.All()
+	ctx := context.Background()
+	opts := machine.RunOptions{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			w := p.Workload()
+			for _, m := range fleet {
+				if _, err := eng.Measure(ctx, m, w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExactRegistry(b *testing.B)    { benchmarkRegistrySweep(b, Exact{}) }
+func BenchmarkAnalyticRegistry(b *testing.B) { benchmarkRegistrySweep(b, Analytic{}) }

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// The analytic model's two load-bearing monotonicity properties, over
+// the full registry. The serving layer leans on them implicitly:
+// operators reading analytic numbers expect "bigger cache → no more
+// misses" and "bigger footprint → no fewer misses" to hold without
+// exception, the way they do in the simulator.
+//
+// monotoneSlack absorbs the bisection tolerance in the
+// characteristic-time fixed point and integer rounding of counts: a
+// step the wrong way is only a violation when it exceeds both a
+// relative hair and an absolute few events.
+const (
+	monotoneSlackRel = 0.002
+	monotoneSlackAbs = 3.0 // events per run at crossval fidelity
+)
+
+func violates(prev, next float64) bool {
+	return next > prev*(1+monotoneSlackRel)+monotoneSlackAbs
+}
+
+// scaleCaches returns m's config with the selected cache level's
+// capacity scaled by factor (a power of two keeps the set count a
+// power of two).
+func scaleLevel(t *testing.T, cfg machine.Config, level string, factor int) *machine.Machine {
+	t.Helper()
+	switch level {
+	case "L1I":
+		cfg.Caches.L1I.SizeBytes *= factor
+	case "L1D":
+		cfg.Caches.L1D.SizeBytes *= factor
+	case "L2":
+		cfg.Caches.L2.SizeBytes *= factor
+	case "L3":
+		l3 := *cfg.Caches.L3
+		l3.SizeBytes *= factor
+		cfg.Caches.L3 = &l3
+	default:
+		t.Fatalf("unknown level %s", level)
+	}
+	// Keep the machine name: adjustSpec perturbs the workload keyed by
+	// (workload, machine name), and the property compares the SAME
+	// workload across capacities.
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatalf("scaling %s by %d: %v", level, factor, err)
+	}
+	return m
+}
+
+// TestAnalyticMonotoneInCacheSize: growing one cache level can only
+// reduce (never increase) the analytic miss count at that level, for
+// every registry workload on every fleet machine, across a ×2/×4/×8
+// capacity ladder.
+func TestAnalyticMonotoneInCacheSize(t *testing.T) {
+	fleet, err := machine.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	missAt := func(rc *machine.RawCounts, level string) float64 {
+		switch level {
+		case "L1I":
+			return float64(rc.Cache.L1IMisses)
+		case "L1D":
+			return float64(rc.Cache.L1DMisses)
+		case "L2":
+			return float64(rc.Cache.L2IMisses + rc.Cache.L2DMisses)
+		default:
+			return float64(rc.Cache.L3Misses)
+		}
+	}
+	for _, base := range fleet {
+		cfg := base.Config()
+		levels := []string{"L1I", "L1D", "L2"}
+		if cfg.Caches.L3 != nil {
+			levels = append(levels, "L3")
+		}
+		for _, level := range levels {
+			ladder := []*machine.Machine{base}
+			for _, f := range []int{2, 4, 8} {
+				ladder = append(ladder, scaleLevel(t, cfg, level, f))
+			}
+			for _, p := range workloads.All() {
+				w := p.Workload()
+				prev := -1.0
+				for step, m := range ladder {
+					rc, err := Analytic{}.Measure(ctx, m, w, crossvalOpts)
+					if err != nil {
+						t.Fatalf("%s on %s (%s ×%d): %v", w.Key, base.Name(), level, 1<<step, err)
+					}
+					miss := missAt(rc, level)
+					if prev >= 0 && violates(prev, miss) {
+						t.Errorf("%s on %s: %s misses rose %.1f → %.1f when capacity doubled (step ×%d)",
+							w.Key, base.Name(), level, prev, miss, 1<<step)
+					}
+					prev = miss
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyticMonotoneInFootprint: growing a workload's data working
+// sets can only add (never remove) analytic data-side misses, across a
+// ×2/×4/×8 footprint ladder. Asserted at L1D — whose arrival rates do
+// not depend on the footprint, so monotonicity there is unconditional —
+// and on the hierarchy-wide data-miss total. Individual downstream
+// levels are deliberately excluded: their arrivals pass through the
+// upstream filter, which sharpens as it thrashes, so a single deeper
+// level's count can legitimately dip a few percent while the total
+// still grows (the simulator shows the same effect).
+func TestAnalyticMonotoneInFootprint(t *testing.T) {
+	fleet, err := machine.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, p := range workloads.All() {
+		base := p.Workload()
+		for _, m := range fleet {
+			prevL1, prevTotal := -1.0, -1.0
+			for _, f := range []uint64{1, 2, 4, 8} {
+				w := base
+				w.Spec.HotBytes = base.Spec.HotBytes * f
+				w.Spec.MidBytes = base.Spec.MidBytes * f
+				w.Spec.WarmBytes = base.Spec.WarmBytes * f
+				w.Spec.FootprintBytes = base.Spec.FootprintBytes * f
+				rc, err := Analytic{}.Measure(ctx, m, w, crossvalOpts)
+				if err != nil {
+					t.Fatalf("%s ×%d on %s: %v", base.Key, f, m.Name(), err)
+				}
+				l1 := float64(rc.Cache.L1DMisses)
+				total := float64(rc.Cache.L1DMisses + rc.Cache.L2DMisses + rc.Cache.L3Misses)
+				if prevL1 >= 0 && violates(l1, prevL1) {
+					t.Errorf("%s on %s: L1D misses fell %.1f → %.1f when footprint grew ×%d",
+						base.Key, m.Name(), prevL1, l1, f)
+				}
+				if prevTotal >= 0 && violates(total, prevTotal) {
+					t.Errorf("%s on %s: total data misses fell %.1f → %.1f when footprint grew ×%d",
+						base.Key, m.Name(), prevTotal, total, f)
+				}
+				prevL1, prevTotal = l1, total
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -45,8 +46,9 @@ type Lab struct {
 // lab.
 type labState struct {
 	opts  machine.RunOptions
-	store *store.Store // nil: measure directly
-	sched core.Runner  // nil: per-characterization worker pool
+	store *store.Store  // nil: measure directly
+	sched core.Runner   // nil: per-characterization worker pool
+	eng   engine.Engine // nil: the exact trace-driven engine
 
 	mu       sync.Mutex
 	building chan struct{} // non-nil while one caller characterizes
@@ -78,6 +80,19 @@ func NewLabWithStore(opts machine.RunOptions, st *store.Store) *Lab {
 func NewLabWithSched(opts machine.RunOptions, st *store.Store, r core.Runner) *Lab {
 	return &Lab{state: &labState{opts: opts, store: st, sched: r}}
 }
+
+// NewLabWithEngine is NewLabWithSched on an explicit measurement
+// engine: every measurement the lab makes — the shared fleet
+// characterization and the ad-hoc RunStored runs — goes through eng
+// and is store-keyed by its tier, so an analytic lab and an exact lab
+// backed by the same store never serve each other's records. A nil
+// engine measures exactly (identical to NewLabWithSched).
+func NewLabWithEngine(opts machine.RunOptions, st *store.Store, r core.Runner, eng engine.Engine) *Lab {
+	return &Lab{state: &labState{opts: opts, store: st, sched: r, eng: eng}}
+}
+
+// Engine returns the lab's measurement engine (nil means exact).
+func (l *Lab) Engine() engine.Engine { return l.state.eng }
 
 // WithContext returns a handle on the same lab whose operations abort
 // when ctx is canceled. The underlying characterization is shared:
@@ -170,7 +185,7 @@ func (l *Lab) build() (*core.Characterization, []*machine.Machine, error) {
 			cctx, span := telemetry.StartSpan(ctx, "characterize",
 				"entries", fmt.Sprintf("%d", len(Entries())),
 				"machines", fmt.Sprintf("%d", len(fleet)))
-			char, err = core.CharacterizeScheduled(cctx, Entries(), fleet, s.opts, s.store, s.sched)
+			char, err = core.CharacterizeWith(cctx, Entries(), fleet, s.opts, s.store, s.sched, s.eng)
 			span.End()
 		}
 
@@ -209,13 +224,21 @@ func (l *Lab) Fleet() ([]*machine.Machine, error) {
 // cached and persisted like everything else.
 func (l *Lab) RunStored(m *machine.Machine, w machine.Workload, opts machine.RunOptions) (*machine.RawCounts, error) {
 	st := l.state.store
-	key := store.KeyFor(m, w, opts)
+	eng := l.state.eng
+	tier := string(engine.TierExact)
+	if eng != nil {
+		tier = string(eng.Tier())
+	}
+	key := store.KeyForEngine(m, w, opts, tier)
 	compute := func(ctx context.Context) (*machine.RawCounts, error) {
+		if eng != nil {
+			return eng.Measure(ctx, m, w, opts)
+		}
 		return core.Simulate(ctx, m, w, opts)
 	}
 	stored := func(ctx context.Context) (*machine.RawCounts, error) {
 		if st == nil {
-			return core.Simulate(ctx, m, w, opts)
+			return compute(ctx)
 		}
 		return st.GetOrCompute(ctx, key, compute)
 	}

@@ -440,6 +440,13 @@ func primeOffset(caches *cache.Hierarchy, tlbs *tlb.Hierarchy, spec trace.Spec, 
 	primeCode(trace.UserCodeBase, spec.HotCodeBytes)
 }
 
+// AdjustedSpec returns the trace specification Run would execute for w
+// on this machine: the neutral spec with the machine's ISA and
+// compiler perturbations applied. Analytic measurement engines model
+// this spec, not the neutral one, so their estimates see the same
+// per-(workload, machine) stream a simulation would.
+func (m *Machine) AdjustedSpec(w Workload) trace.Spec { return m.adjustSpec(w) }
+
 // adjustSpec applies ISA and compiler perturbations to the neutral
 // workload spec, modelling what recompilation on another machine does
 // to a real dynamic instruction stream. The perturbation is

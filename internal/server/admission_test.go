@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -158,7 +159,7 @@ func TestMaxInFlight429(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	var once sync.Once
-	s.compute = func(context.Context, string, machine.RunOptions) (any, error) {
+	s.compute = func(context.Context, string, machine.RunOptions, engine.Tier) (any, error) {
 		once.Do(func() { close(started) })
 		<-release
 		return "v", nil
@@ -197,7 +198,7 @@ func TestMaxInFlight429(t *testing.T) {
 func TestQueueSaturation429(t *testing.T) {
 	s, _ := newTestServer(Config{SimWorkers: 1, MaxQueue: 1, Workers: 8})
 	release := make(chan struct{})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		return s.queue.Do(ctx, id, func(context.Context) (any, error) {
 			<-release
 			return "v", nil
@@ -255,7 +256,7 @@ func TestQueueSaturation429(t *testing.T) {
 func TestQueueWaitTimeout429(t *testing.T) {
 	s, _ := newTestServer(Config{SimWorkers: 1, QueueWait: 30 * time.Millisecond, Workers: 8})
 	release := make(chan struct{})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		return s.queue.Do(ctx, id, func(context.Context) (any, error) {
 			<-release
 			return "v", nil
@@ -302,7 +303,7 @@ func waitForStats(t *testing.T, s *Server, cond func(sched.Stats) bool) {
 // the 499 a client's own disconnect produces.
 func TestRequestTimeout504(t *testing.T) {
 	s, _ := newTestServer(Config{RequestTimeout: 50 * time.Millisecond})
-	s.compute = func(ctx context.Context, _ string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, _ string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -337,7 +338,7 @@ func TestParseRunOptionsRejects(t *testing.T) {
 	}
 	for _, tc := range cases {
 		r := httptest.NewRequest(http.MethodGet, "/v1/report?"+tc.query, nil)
-		_, err := parseRunOptions(r)
+		_, _, err := parseRunOptions(r)
 		if err == nil {
 			t.Errorf("%q: accepted, want error", tc.query)
 			continue
@@ -349,7 +350,7 @@ func TestParseRunOptionsRejects(t *testing.T) {
 	// The boundary cases stay valid.
 	for _, q := range []string{"instructions=1", "warmup=0", "instructions=5000&warmup=100"} {
 		r := httptest.NewRequest(http.MethodGet, "/v1/report?"+q, nil)
-		if _, err := parseRunOptions(r); err != nil {
+		if _, _, err := parseRunOptions(r); err != nil {
 			t.Errorf("%q: rejected valid options: %v", q, err)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -42,12 +43,18 @@ type batchRequest struct {
 	// evaluated at once. Zero means the server default; values above
 	// the server's BatchConcurrency are clamped down to it.
 	Concurrency int `json:"concurrency,omitempty"`
+	// Engine selects the measurement engine tier (exact, analytic, or
+	// auto) for every item. Empty means the server default.
+	Engine string `json:"engine,omitempty"`
 }
 
 // batchLine is one NDJSON result line, written in completion order.
 type batchLine struct {
 	ID     string `json:"id"`
 	Status string `json:"status"` // "ok" or "error"
+	// Engine is the concrete tier that produced this line (auto
+	// resolves per item, so one batch may mix tiers as upgrades land).
+	Engine string `json:"engine,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
 	// TraceID names the per-item trace (a child trace of the batch
 	// request, linked via its parent_trace attribute) so one slow line
@@ -81,9 +88,18 @@ func parseBatchRequest(w http.ResponseWriter, r *http.Request) (batchRequest, er
 	q := r.URL.Query()
 	for k := range q {
 		switch k {
-		case "experiments", "instructions", "warmup", "concurrency":
+		case "experiments", "instructions", "warmup", "concurrency", "engine":
 		default:
-			return req, fmt.Errorf("unknown query parameter %q (valid: experiments, instructions, warmup, concurrency)", k)
+			return req, fmt.Errorf("unknown query parameter %q (valid: experiments, instructions, warmup, concurrency, engine)", k)
+		}
+	}
+	// Present-but-empty is rejected like any other unknown value, not
+	// silently mapped to the server default.
+	if _, present := q["engine"]; present {
+		req.Engine = q.Get("engine")
+		if req.Engine == "" {
+			_, err := engine.ParseTier("")
+			return req, err
 		}
 	}
 	for _, part := range strings.Split(q.Get("experiments"), ",") {
@@ -176,6 +192,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
+	reqTier := s.cfg.DefaultEngine
+	if req.Engine != "" {
+		t, err := engine.ParseTier(req.Engine)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+			return
+		}
+		reqTier = t
+	}
 	conc := s.cfg.BatchConcurrency
 	if req.Concurrency > 0 && req.Concurrency < conc {
 		conc = req.Concurrency
@@ -228,7 +253,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// each item pays as the stream reaches it, so one saturated
 			// client sheds individual lines while healthy items keep
 			// streaming instead of the whole batch 429ing up front.
-			if dec := s.adm.Admit(clientKey(r), admission.Cost(opts.Instructions, 1)); !dec.OK {
+			itemCost := admission.Cost(opts.Instructions, 1)
+			if reqTier == engine.TierAnalytic || reqTier == engine.TierAuto {
+				itemCost /= analyticCostDivisor
+			}
+			if dec := s.adm.Admit(clientKey(r), itemCost); !dec.OK {
 				emit(batchLine{ID: id, Status: "error",
 					ElapsedMS: time.Since(start).Milliseconds(),
 					Error: &errorDetail{Code: codeTooManyRequests,
@@ -239,14 +268,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// single slow experiment is findable in /v1/traces without
 			// wading through the whole batch's tree. The parent_trace
 			// attribute links it back to the batch request's trace.
+			tier, upgrade := s.resolveTier(id, opts, reqTier)
+			if upgrade {
+				s.queueUpgrade(id, opts)
+			}
+			s.met.engineServed.With(string(tier)).Inc()
 			ictx, isp := s.cfg.Tracer.StartTrace(ctx, "batch.item", "",
-				"experiment", id,
+				"experiment", id, "engine", string(tier),
 				"parent_trace", telemetry.FromContext(ctx).TraceID())
-			val, cached, _, err := s.fetch(ictx, id, opts)
+			val, cached, _, err := s.fetch(ictx, id, opts, tier)
 			isp.End()
 			elapsed := time.Since(start)
 			s.met.batchItems.With(id).Observe(elapsed.Seconds())
-			line := batchLine{ID: id, Status: "ok", Cached: cached,
+			line := batchLine{ID: id, Status: "ok", Engine: string(tier), Cached: cached,
 				TraceID: isp.TraceID(), ElapsedMS: elapsed.Milliseconds()}
 			if err != nil {
 				s.cfg.Log.Warn("batch item failed", "experiment", id, "err", err)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 	"strings"
@@ -39,7 +40,7 @@ func TestBatchStreamsIncrementally(t *testing.T) {
 		"fig1":   make(chan struct{}),
 	}
 	s := New(Config{Workers: 4, Tracer: telemetry.NewTracer(telemetry.TracerConfig{})})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		if ch, ok := releases[id]; ok {
 			select {
 			case <-ch:
@@ -127,7 +128,7 @@ func TestBatchDisconnectCancelsOnlyOwnWork(t *testing.T) {
 		}
 	)
 	s := New(Config{Workers: 4})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		mu.Lock()
 		ctxs[id] = ctx
 		mu.Unlock()
@@ -176,7 +177,7 @@ func TestBatchDisconnectCancelsOnlyOwnWork(t *testing.T) {
 	defer bresp.Body.Close()
 	// B's table1 joined A's in-flight computation; fig1 is B's own.
 	waitFor("batch B to coalesce onto table1", func() bool {
-		return ctxOf("fig1") != nil && s.flight.waiting(cacheKey("table1", machine.RunOptions{})) >= 1
+		return ctxOf("fig1") != nil && s.flight.waiting(cacheKey("table1", machine.RunOptions{}, engine.TierExact)) >= 1
 	})
 
 	acancel() // batch A disconnects mid-stream
@@ -309,7 +310,7 @@ func TestBatchConcurrencyCap(t *testing.T) {
 	)
 	release := make(chan struct{})
 	s := New(Config{Workers: 8, BatchConcurrency: 8})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
 		mu.Lock()
 		running++
 		if running > peak {

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+// newEngineTestServer stubs the compute path with a fake whose result
+// carries the tier it was computed at, so the tests can tell an
+// analytic answer from an exact one and check the upgrade path's
+// bit-identity claim.
+func newEngineTestServer(cfg Config) (*Server, *atomic.Int64) {
+	s := New(cfg)
+	var computations atomic.Int64
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+		computations.Add(1)
+		c := opts.Canonical()
+		return map[string]any{"id": id, "instructions": c.Instructions, "tier": string(tier)}, nil
+	}
+	return s, &computations
+}
+
+type engineResp struct {
+	Engine         string         `json:"engine"`
+	UpgradePending bool           `json:"upgrade_pending"`
+	Cached         bool           `json:"cached"`
+	Result         map[string]any `json:"result"`
+}
+
+func getEngine(t *testing.T, ts *httptest.Server, path string) engineResp {
+	t.Helper()
+	code, body := get(t, ts, path)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, code, body)
+	}
+	var er engineResp
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return er
+}
+
+// TestEngineParamRejected: an unknown engine value must be a 400
+// naming the allowed set, with no compute started — never a silent
+// fall back to the default engine (a client asking for "anaytic"
+// must find out, not quietly pay for an exact run).
+func TestEngineParamRejected(t *testing.T) {
+	s, computations := newEngineTestServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	for _, path := range []string{
+		"/v1/experiments/table1?engine=anaytic",
+		"/v1/experiments/table1?engine=Exact",
+		"/v1/experiments/table1?engine=",
+		"/v1/report?engine=fast",
+		"/v1/batch?experiments=table1&engine=approximate",
+		"/v1/batch?experiments=table1&engine=",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400 (body %s)", path, code, body)
+		}
+		if !strings.Contains(string(body), "valid: exact, analytic, auto") {
+			t.Errorf("GET %s: body %q does not list the valid tiers", path, body)
+		}
+	}
+	if n := computations.Load(); n != 0 {
+		t.Errorf("invalid engine values started %d computations, want 0", n)
+	}
+}
+
+// TestEngineTiersCachedSeparately: analytic and exact results for the
+// same (experiment, fidelity) live under distinct cache keys — neither
+// ever serves the other's bytes.
+func TestEngineTiersCachedSeparately(t *testing.T) {
+	s, computations := newEngineTestServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	a := getEngine(t, ts, "/v1/experiments/table1?engine=analytic")
+	x := getEngine(t, ts, "/v1/experiments/table1?engine=exact")
+	if a.Engine != "analytic" || a.Result["tier"] != "analytic" {
+		t.Errorf("analytic request served %q (result tier %v)", a.Engine, a.Result["tier"])
+	}
+	if x.Engine != "exact" || x.Result["tier"] != "exact" {
+		t.Errorf("exact request served %q (result tier %v)", x.Engine, x.Result["tier"])
+	}
+	if n := computations.Load(); n != 2 {
+		t.Errorf("two tiers computed %d times, want 2", n)
+	}
+	// Repeats hit their own tier's cache.
+	a2 := getEngine(t, ts, "/v1/experiments/table1?engine=analytic")
+	x2 := getEngine(t, ts, "/v1/experiments/table1?engine=exact")
+	if !a2.Cached || a2.Result["tier"] != "analytic" {
+		t.Errorf("repeat analytic: cached=%v tier=%v", a2.Cached, a2.Result["tier"])
+	}
+	if !x2.Cached || x2.Result["tier"] != "exact" {
+		t.Errorf("repeat exact: cached=%v tier=%v", x2.Cached, x2.Result["tier"])
+	}
+	if n := computations.Load(); n != 2 {
+		t.Errorf("cached repeats recomputed: %d computations, want 2", n)
+	}
+}
+
+// TestEngineAutoUpgrades: the first auto request is served analytic
+// with an upgrade pending; once the background worker lands the exact
+// result, auto serves exact — and byte-for-byte what a direct
+// engine=exact request returns, because the upgrade runs the same
+// fetch path under the same cache key.
+func TestEngineAutoUpgrades(t *testing.T) {
+	s, computations := newEngineTestServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	first := getEngine(t, ts, "/v1/experiments/table1?engine=auto")
+	if first.Engine != "analytic" || first.Result["tier"] != "analytic" {
+		t.Fatalf("first auto request served %q (result tier %v), want analytic", first.Engine, first.Result["tier"])
+	}
+	if !first.UpgradePending {
+		t.Fatalf("first auto request did not queue an upgrade")
+	}
+
+	var upgraded engineResp
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		upgraded = getEngine(t, ts, "/v1/experiments/table1?engine=auto")
+		if upgraded.Engine == "exact" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto never upgraded to exact; last response %+v", upgraded)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !upgraded.Cached {
+		t.Errorf("upgraded auto response not served from cache")
+	}
+
+	// The direct exact request must be the identical cached value —
+	// and must not recompute (the upgrade already paid for it).
+	before := computations.Load()
+	direct := getEngine(t, ts, "/v1/experiments/table1?engine=exact")
+	if computations.Load() != before {
+		t.Errorf("direct exact request recomputed after upgrade")
+	}
+	if !direct.Cached {
+		t.Errorf("direct exact request missed the cache after upgrade")
+	}
+	if fmt.Sprint(direct.Result) != fmt.Sprint(upgraded.Result) {
+		t.Errorf("auto-upgraded result differs from direct exact:\n auto  %v\n exact %v", upgraded.Result, direct.Result)
+	}
+
+	// Status reflects the pipeline.
+	code, body := get(t, ts, "/v1/status")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/status: %d", code)
+	}
+	var st struct {
+		Engine struct {
+			Default        string `json:"default"`
+			UpgradeWorkers int    `json:"upgrade_workers"`
+			Queued         int64  `json:"upgrades_queued"`
+			Done           int64  `json:"upgrades_done"`
+			ServedExact    int64  `json:"served_exact"`
+			ServedAnalytic int64  `json:"served_analytic"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Default != "exact" || st.Engine.UpgradeWorkers != 2 {
+		t.Errorf("status engine defaults = %+v", st.Engine)
+	}
+	if st.Engine.Queued < 1 || st.Engine.Done < 1 {
+		t.Errorf("status upgrade counters = %+v, want ≥1 queued and done", st.Engine)
+	}
+	if st.Engine.ServedAnalytic < 1 || st.Engine.ServedExact < 1 {
+		t.Errorf("status served counters = %+v", st.Engine)
+	}
+	if v := metricValue(t, ts, `spec17d_engine_upgrades_total{status="done"}`); v < 1 {
+		t.Errorf("spec17d_engine_upgrades_total{status=done} = %v, want ≥1", v)
+	}
+	if v := metricValue(t, ts, `spec17d_engine_requests_total{engine="analytic"}`); v < 1 {
+		t.Errorf("spec17d_engine_requests_total{engine=analytic} = %v, want ≥1", v)
+	}
+}
+
+// TestEngineAutoWithoutWorkers: with upgrades disabled the auto tier
+// degrades gracefully — always analytic, never pending.
+func TestEngineAutoWithoutWorkers(t *testing.T) {
+	s, _ := newEngineTestServer(Config{UpgradeWorkers: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		er := getEngine(t, ts, "/v1/experiments/table1?engine=auto")
+		if er.Engine != "analytic" || er.UpgradePending {
+			t.Fatalf("request %d: engine=%q pending=%v, want analytic and no upgrade", i, er.Engine, er.UpgradePending)
+		}
+	}
+}
+
+// TestEngineDefaultFromConfig: the -engine flag's Config.DefaultEngine
+// applies when the request names no tier, and an explicit engine=
+// always overrides it.
+func TestEngineDefaultFromConfig(t *testing.T) {
+	s, _ := newEngineTestServer(Config{DefaultEngine: engine.TierAnalytic})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	if er := getEngine(t, ts, "/v1/experiments/table1"); er.Engine != "analytic" {
+		t.Errorf("default request served %q, want analytic (the configured default)", er.Engine)
+	}
+	if er := getEngine(t, ts, "/v1/experiments/table1?engine=exact"); er.Engine != "exact" {
+		t.Errorf("explicit engine=exact served %q", er.Engine)
+	}
+}
+
+// TestBatchEngineLines: batch items report the tier that produced
+// them, and an auto batch's first pass is analytic with upgrades
+// queued behind it.
+func TestBatchEngineLines(t *testing.T) {
+	s, _ := newEngineTestServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	code, body := get(t, ts, "/v1/batch?experiments=table1,table2&engine=analytic")
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("batch returned %d lines, want 2: %s", len(lines), body)
+	}
+	for _, line := range lines {
+		var bl struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Engine string `json:"engine"`
+		}
+		if err := json.Unmarshal([]byte(line), &bl); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if bl.Status != "ok" || bl.Engine != "analytic" {
+			t.Errorf("line %+v: want status ok, engine analytic", bl)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -52,6 +53,17 @@ const reportID = "__report__"
 // Characterization cost is linear in this value; the cap keeps one
 // request from tying up a worker for hours.
 const maxInstructions = 10_000_000
+
+// analyticCostDivisor discounts the admission price of analytic (and
+// auto) requests: the closed-form estimator is benchmarked at better
+// than 50× the exact engine's throughput over the full registry, so an
+// analytic request consumes a proportionally smaller compute budget.
+const analyticCostDivisor = 50
+
+// upgradeQueueCap bounds the background exact-upgrade queue. Auto
+// requests beyond it are still answered (analytically); only the
+// upgrade is dropped, and a later auto request re-queues it.
+const upgradeQueueCap = 128
 
 // Config configures a Server. The zero value is usable: every field
 // has a sensible default.
@@ -107,6 +119,16 @@ type Config struct {
 	// RequestTimeout is the server-side deadline for compute requests;
 	// a request still working when it expires answers 504. 0 disables.
 	RequestTimeout time.Duration
+	// DefaultEngine is the measurement engine tier used when a request
+	// does not pass ?engine=. Defaults to engine.TierExact; TierAuto
+	// makes the daemon answer analytically and upgrade in the
+	// background by default.
+	DefaultEngine engine.Tier
+	// UpgradeWorkers bounds concurrent background exact upgrades of
+	// analytically-served auto requests. Defaults to 2; negative
+	// disables upgrading (auto then never converges to exact on its
+	// own).
+	UpgradeWorkers int
 	// Store, when set, backs every Lab the server builds: measurements
 	// are content-addressed, deduplicated across fidelities, and — when
 	// the store has a snapshot path — survive restarts, so a warm
@@ -147,6 +169,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxHeaderBytes <= 0 {
 		c.MaxHeaderBytes = 64 << 10
 	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = engine.TierExact
+	}
+	if c.UpgradeWorkers == 0 {
+		c.UpgradeWorkers = 2
+	}
+	if c.UpgradeWorkers < 0 {
+		c.UpgradeWorkers = 0
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -168,6 +199,9 @@ type serverMetrics struct {
 	inflight      *metrics.Gauge
 	batchInflight *metrics.Gauge
 	batchItems    *metrics.HistogramVec
+	engineServed  *metrics.CounterVec // engine (concrete tier)
+	upgrades      *metrics.CounterVec // status
+	upgradeDepth  *metrics.Gauge
 }
 
 func newServerMetrics(r *metrics.Registry) serverMetrics {
@@ -195,6 +229,14 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		batchItems: r.HistogramVec("spec17_batch_item_duration_seconds",
 			"Per-experiment latency within batch streams, submission to emitted line.",
 			nil, "experiment"),
+		engineServed: r.CounterVec("spec17d_engine_requests_total",
+			"Compute requests served, by concrete engine tier (auto counts as the tier it resolved to).",
+			"engine"),
+		upgrades: r.CounterVec("spec17d_engine_upgrades_total",
+			"Background exact upgrades of analytically-served keys, by status (queued, done, failed, dropped).",
+			"status"),
+		upgradeDepth: r.Gauge("spec17d_engine_upgrade_queue_depth",
+			"Exact-upgrade jobs currently queued."),
 	}
 }
 
@@ -220,14 +262,23 @@ type Server struct {
 
 	mu      sync.Mutex
 	results *lru // cacheKey -> experiment result
-	labs    *lru // fidelity key -> *experiments.Lab
+	labs    *lru // (fidelity, engine) key -> *experiments.Lab
+
+	// upgradePending (guarded by mu) dedups queued exact upgrades by
+	// their exact-tier cache key.
+	upgradePending map[string]bool
+	upgradeCh      chan upgradeJob
+	upgradeCtx     context.Context
+	upgradeCancel  context.CancelFunc
+	upgradeWG      sync.WaitGroup
+	upgradeStop    sync.Once
 
 	// compute produces one experiment (or reportID) result at the
-	// given fidelity. Overridden in tests to observe and control the
-	// computation path; the default runs the experiment registry on a
-	// cached Lab. The context is the flight's: canceled when every
-	// waiting request has disconnected.
-	compute func(ctx context.Context, id string, opts machine.RunOptions) (any, error)
+	// given fidelity on the given concrete engine tier. Overridden in
+	// tests to observe and control the computation path; the default
+	// runs the experiment registry on a cached Lab. The context is the
+	// flight's: canceled when every waiting request has disconnected.
+	compute func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error)
 	// computeStarted, when set (tests), is invoked by the flight
 	// leader right before compute.
 	computeStarted func(key string)
@@ -258,11 +309,18 @@ func New(cfg Config) *Server {
 			MaxInFlight: cfg.MaxInFlight,
 			Metrics:     cfg.Metrics,
 		}),
-		results: newLRU(cfg.ResultCacheSize),
-		labs:    newLRU(cfg.LabCacheSize),
+		results:        newLRU(cfg.ResultCacheSize),
+		labs:           newLRU(cfg.LabCacheSize),
+		upgradePending: make(map[string]bool),
+		upgradeCh:      make(chan upgradeJob, upgradeQueueCap),
 	}
 	s.queue = s.pool.Queue(0)
 	s.compute = s.runExperiment
+	s.upgradeCtx, s.upgradeCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.UpgradeWorkers; i++ {
+		s.upgradeWG.Add(1)
+		go s.upgradeWorker()
+	}
 
 	// Compute endpoints are traced (they do real work worth a span
 	// tree); the observability surface itself — health, status, traces,
@@ -322,6 +380,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // Serve.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopUpgrades()
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -337,6 +396,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // before Serve or after Shutdown.
 func (s *Server) Close() error {
 	s.draining.Store(true)
+	s.stopUpgrades()
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -347,34 +407,46 @@ func (s *Server) Close() error {
 }
 
 // cacheKey is the identity of one result: experiment id × canonical
-// run options. Requests spelling the same fidelity differently
-// (explicit defaults vs omitted) share a key.
-func cacheKey(id string, opts machine.RunOptions) string {
+// run options × concrete engine tier. Requests spelling the same
+// fidelity differently (explicit defaults vs omitted) share a key; the
+// exact tier adds no suffix, so keys cached before engines existed
+// keep their identity.
+func cacheKey(id string, opts machine.RunOptions, tier engine.Tier) string {
 	c := opts.Canonical()
-	return id + "?i=" + strconv.Itoa(c.Instructions) + "&w=" + strconv.Itoa(c.WarmupInstructions)
+	k := id + "?i=" + strconv.Itoa(c.Instructions) + "&w=" + strconv.Itoa(c.WarmupInstructions)
+	if tier != "" && tier != engine.TierExact {
+		k += "&e=" + string(tier)
+	}
+	return k
 }
 
-// labFor returns the Lab for one fidelity, creating and caching it on
-// first use. Labs build their fleet characterization lazily, so
-// creation is cheap; the LRU bound caps how many full
+// labFor returns the Lab for one (fidelity, engine tier), creating and
+// caching it on first use. Labs build their fleet characterization
+// lazily, so creation is cheap; the LRU bound caps how many full
 // characterizations stay resident.
-func (s *Server) labFor(opts machine.RunOptions) *experiments.Lab {
-	key := cacheKey("", opts)
+func (s *Server) labFor(opts machine.RunOptions, tier engine.Tier) *experiments.Lab {
+	key := cacheKey("", opts, tier)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v, ok := s.labs.get(key); ok {
 		return v.(*experiments.Lab)
 	}
-	lab := experiments.NewLabWithSched(opts.Canonical(), s.cfg.Store, s.queue)
+	// The exact tier keeps a nil engine: the historical Simulate path,
+	// bit-identical and identically store-keyed to engine.Exact.
+	var eng engine.Engine
+	if tier == engine.TierAnalytic {
+		eng = engine.Analytic{}
+	}
+	lab := experiments.NewLabWithEngine(opts.Canonical(), s.cfg.Store, s.queue, eng)
 	s.labs.put(key, lab)
 	return lab
 }
 
 // runExperiment is the default compute path: resolve the registry
-// entry (or the full report) and run it on the fidelity's shared Lab
-// under the flight's context.
-func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunOptions) (any, error) {
-	lab := s.labFor(opts).WithContext(ctx)
+// entry (or the full report) and run it on the (fidelity, tier)'s
+// shared Lab under the flight's context.
+func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	lab := s.labFor(opts, tier).WithContext(ctx)
 	if id == reportID {
 		return experiments.BuildReport(lab)
 	}
@@ -385,13 +457,106 @@ func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunO
 	return d.Run(lab)
 }
 
+// upgradeJob is one queued background exact re-measurement.
+type upgradeJob struct {
+	id   string
+	opts machine.RunOptions
+	key  string // exact-tier cache key, the pending-dedup identity
+}
+
+// resolveTier maps a requested tier onto the concrete tier this
+// request is served at. Auto serves exact when the exact result is
+// already cached and analytic otherwise; the second return reports
+// whether the caller should queue a background exact upgrade.
+func (s *Server) resolveTier(id string, opts machine.RunOptions, req engine.Tier) (engine.Tier, bool) {
+	if req != engine.TierAuto {
+		return req, false
+	}
+	s.mu.Lock()
+	_, ok := s.results.get(cacheKey(id, opts, engine.TierExact))
+	s.mu.Unlock()
+	if ok {
+		return engine.TierExact, false
+	}
+	return engine.TierAnalytic, true
+}
+
+// queueUpgrade enqueues a background exact re-measurement of (id,
+// opts), deduplicating against upgrades already queued or running.
+// Returns whether the upgrade is now pending (newly queued or already
+// in flight); a full queue drops the job — a later auto request will
+// re-queue it.
+func (s *Server) queueUpgrade(id string, opts machine.RunOptions) bool {
+	if s.cfg.UpgradeWorkers == 0 || s.draining.Load() {
+		return false
+	}
+	key := cacheKey(id, opts, engine.TierExact)
+	s.mu.Lock()
+	if s.upgradePending[key] {
+		s.mu.Unlock()
+		return true
+	}
+	s.upgradePending[key] = true
+	s.mu.Unlock()
+	select {
+	case s.upgradeCh <- upgradeJob{id: id, opts: opts, key: key}:
+		s.met.upgrades.With("queued").Inc()
+		s.met.upgradeDepth.Set(float64(len(s.upgradeCh)))
+		return true
+	default:
+		s.mu.Lock()
+		delete(s.upgradePending, key)
+		s.mu.Unlock()
+		s.met.upgrades.With("dropped").Inc()
+		return false
+	}
+}
+
+// upgradeWorker drains the upgrade queue: each job runs the ordinary
+// fetch path at the exact tier, so the result lands in the result
+// cache (and the measurements in the store) exactly as a direct
+// engine=exact request's would — later auto requests serve it
+// bit-identically.
+func (s *Server) upgradeWorker() {
+	defer s.upgradeWG.Done()
+	for {
+		select {
+		case <-s.upgradeCtx.Done():
+			return
+		case job := <-s.upgradeCh:
+			s.met.upgradeDepth.Set(float64(len(s.upgradeCh)))
+			_, _, _, err := s.fetch(s.upgradeCtx, job.id, job.opts, engine.TierExact)
+			s.mu.Lock()
+			delete(s.upgradePending, job.key)
+			s.mu.Unlock()
+			if err != nil {
+				s.met.upgrades.With("failed").Inc()
+				if s.upgradeCtx.Err() == nil {
+					s.cfg.Log.Warn("exact upgrade failed", "what", job.id, "err", err)
+				}
+			} else {
+				s.met.upgrades.With("done").Inc()
+			}
+		}
+	}
+}
+
+// stopUpgrades halts the background upgrade workers, canceling any
+// in-flight exact re-measurement they lead.
+func (s *Server) stopUpgrades() {
+	s.upgradeStop.Do(func() {
+		s.upgradeCancel()
+		s.upgradeWG.Wait()
+	})
+}
+
 // fetch returns the result for (id, opts), serving from cache when
 // possible, coalescing concurrent misses for the same key onto one
 // computation, and bounding concurrent computations by the worker
 // pool. Canceling ctx abandons this caller's wait; a computation all
 // of whose callers have disconnected is itself canceled.
-func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) (val any, cached, coalesced bool, err error) {
-	key := cacheKey(id, opts)
+func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (val any, cached, coalesced bool, err error) {
+	key := cacheKey(id, opts, tier)
 	s.mu.Lock()
 	if v, ok := s.results.get(key); ok {
 		s.mu.Unlock()
@@ -429,7 +594,7 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) 
 			s.computeStarted(key)
 		}
 		s.met.computations.Inc()
-		v, err := s.compute(fctx, id, opts)
+		v, err := s.compute(fctx, id, opts, tier)
 		if err != nil {
 			return nil, err
 		}
@@ -446,47 +611,59 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions) 
 	return val, false, joined, err
 }
 
-// parseRunOptions extracts ?instructions= and ?warmup= and validates
-// them through machine.RunOptions.Validate. Unknown query parameters
-// and duplicated ones are rejected so typos fail loudly instead of
-// silently measuring at default fidelity, and range errors are caught
-// right here at parse time — a negative value must not fall through to
-// Validate's second-hand message.
-func parseRunOptions(r *http.Request) (machine.RunOptions, error) {
+// parseRunOptions extracts ?instructions=, ?warmup=, and ?engine= and
+// validates them (options through machine.RunOptions.Validate, the
+// engine through engine.ParseTier). Unknown query parameters and
+// duplicated ones are rejected so typos fail loudly instead of
+// silently measuring at default fidelity — or on the wrong engine —
+// and range errors are caught right here at parse time. An absent
+// ?engine= returns the zero Tier; the caller substitutes the server's
+// default.
+func parseRunOptions(r *http.Request) (machine.RunOptions, engine.Tier, error) {
 	var opts machine.RunOptions
+	var tier engine.Tier
 	q := r.URL.Query()
 	for k, vs := range q {
-		if k != "instructions" && k != "warmup" {
-			return opts, fmt.Errorf("unknown query parameter %q (valid: instructions, warmup)", k)
+		if k != "instructions" && k != "warmup" && k != "engine" {
+			return opts, tier, fmt.Errorf("unknown query parameter %q (valid: instructions, warmup, engine)", k)
 		}
 		if len(vs) > 1 {
-			return opts, fmt.Errorf("query parameter %q given %d times, want at most once", k, len(vs))
+			return opts, tier, fmt.Errorf("query parameter %q given %d times, want at most once", k, len(vs))
 		}
 	}
 	if v := q.Get("instructions"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			return opts, fmt.Errorf("instructions=%q: must be a positive integer", v)
+			return opts, tier, fmt.Errorf("instructions=%q: must be a positive integer", v)
 		}
 		if n > maxInstructions {
-			return opts, fmt.Errorf("instructions=%d exceeds the maximum %d", n, maxInstructions)
+			return opts, tier, fmt.Errorf("instructions=%d exceeds the maximum %d", n, maxInstructions)
 		}
 		opts.Instructions = n
 	}
 	if v := q.Get("warmup"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			return opts, fmt.Errorf("warmup=%q: must be a non-negative integer", v)
+			return opts, tier, fmt.Errorf("warmup=%q: must be a non-negative integer", v)
 		}
 		if n > maxInstructions {
-			return opts, fmt.Errorf("warmup=%d exceeds the maximum %d", n, maxInstructions)
+			return opts, tier, fmt.Errorf("warmup=%d exceeds the maximum %d", n, maxInstructions)
 		}
 		opts.WarmupInstructions = n
 	}
-	if err := opts.Validate(); err != nil {
-		return opts, err
+	// "?engine=" (present but empty) is rejected like any other unknown
+	// value: silently substituting the default would hide the typo.
+	if _, present := q["engine"]; present {
+		t, err := engine.ParseTier(q.Get("engine"))
+		if err != nil {
+			return opts, tier, err
+		}
+		tier = t
 	}
-	return opts, nil
+	if err := opts.Validate(); err != nil {
+		return opts, tier, err
+	}
+	return opts, tier, nil
 }
 
 // Error-envelope codes. Every non-200 JSON response is
@@ -638,9 +815,29 @@ type experimentResponse struct {
 	Kind         string `json:"kind"`
 	Instructions int    `json:"instructions"`
 	Warmup       int    `json:"warmup"`
-	Cached       bool   `json:"cached"`
-	Coalesced    bool   `json:"coalesced,omitempty"`
-	Result       any    `json:"result"`
+	// Engine is the concrete tier that produced the result; an
+	// engine=auto request answers "analytic" until its background
+	// upgrade lands, then "exact".
+	Engine string `json:"engine"`
+	// UpgradePending is set on auto requests whose exact upgrade is
+	// queued or running.
+	UpgradePending bool `json:"upgrade_pending,omitempty"`
+	Cached         bool `json:"cached"`
+	Coalesced      bool `json:"coalesced,omitempty"`
+	Result         any  `json:"result"`
+}
+
+// reqTier merges the parsed tier with the server default and resolves
+// it to the concrete serving tier, queueing the auto upgrade.
+func (s *Server) reqTier(id string, opts machine.RunOptions, parsed engine.Tier) (tier engine.Tier, upgradePending bool) {
+	if parsed == "" {
+		parsed = s.cfg.DefaultEngine
+	}
+	tier, upgrade := s.resolveTier(id, opts, parsed)
+	if upgrade {
+		upgradePending = s.queueUpgrade(id, opts)
+	}
+	return tier, upgradePending
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
@@ -654,27 +851,34 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			experiments.UnknownIDError(id).Error(), experiments.SortedIDs())
 		return
 	}
-	opts, err := parseRunOptions(r)
+	opts, parsed, err := parseRunOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
-	telemetry.FromContext(r.Context()).SetAttr("experiment", id)
-	val, cached, coalesced, err := s.fetch(r.Context(), id, opts)
+	tier, upgrading := s.reqTier(id, opts, parsed)
+	if sp := telemetry.FromContext(r.Context()); sp != nil {
+		sp.SetAttr("experiment", id)
+		sp.SetAttr("engine", string(tier))
+	}
+	s.met.engineServed.With(string(tier)).Inc()
+	val, cached, coalesced, err := s.fetch(r.Context(), id, opts, tier)
 	if err != nil {
 		s.writeComputeError(w, r, id, err)
 		return
 	}
 	canon := opts.Canonical()
 	writeJSON(w, http.StatusOK, experimentResponse{
-		ID:           d.ID,
-		Title:        d.Title,
-		Kind:         d.Kind,
-		Instructions: canon.Instructions,
-		Warmup:       canon.WarmupInstructions,
-		Cached:       cached,
-		Coalesced:    coalesced,
-		Result:       val,
+		ID:             d.ID,
+		Title:          d.Title,
+		Kind:           d.Kind,
+		Instructions:   canon.Instructions,
+		Warmup:         canon.WarmupInstructions,
+		Engine:         string(tier),
+		UpgradePending: upgrading,
+		Cached:         cached,
+		Coalesced:      coalesced,
+		Result:         val,
 	})
 }
 
@@ -682,25 +886,32 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
-	opts, err := parseRunOptions(r)
+	opts, parsed, err := parseRunOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
 		return
 	}
-	telemetry.FromContext(r.Context()).SetAttr("experiment", "report")
-	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts)
+	tier, upgrading := s.reqTier(reportID, opts, parsed)
+	if sp := telemetry.FromContext(r.Context()); sp != nil {
+		sp.SetAttr("experiment", "report")
+		sp.SetAttr("engine", string(tier))
+	}
+	s.met.engineServed.With(string(tier)).Inc()
+	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts, tier)
 	if err != nil {
 		s.writeComputeError(w, r, "report", err)
 		return
 	}
 	canon := opts.Canonical()
 	writeJSON(w, http.StatusOK, struct {
-		Instructions int  `json:"instructions"`
-		Warmup       int  `json:"warmup"`
-		Cached       bool `json:"cached"`
-		Coalesced    bool `json:"coalesced,omitempty"`
-		Report       any  `json:"report"`
-	}{canon.Instructions, canon.WarmupInstructions, cached, coalesced, val})
+		Instructions   int    `json:"instructions"`
+		Warmup         int    `json:"warmup"`
+		Engine         string `json:"engine"`
+		UpgradePending bool   `json:"upgrade_pending,omitempty"`
+		Cached         bool   `json:"cached"`
+		Coalesced      bool   `json:"coalesced,omitempty"`
+		Report         any    `json:"report"`
+	}{canon.Instructions, canon.WarmupInstructions, string(tier), upgrading, cached, coalesced, val})
 }
 
 // statusWriter captures the response code and body size for
@@ -753,13 +964,25 @@ func clientKey(r *http.Request) string {
 // price at the default (the 400 comes later, after admission).
 func (s *Server) estimateCost(r *http.Request, endpoint string) float64 {
 	instr, _ := strconv.Atoi(r.URL.Query().Get("instructions"))
+	var cost float64
 	switch endpoint {
 	case "/v1/experiments/{id}":
-		return admission.Cost(instr, 1)
+		cost = admission.Cost(instr, 1)
 	case "/v1/report":
-		return admission.Cost(instr, len(experiments.Registry()))
+		cost = admission.Cost(instr, len(experiments.Registry()))
+	default:
+		return 0
 	}
-	return 0
+	// Analytic (and auto, which serves analytically when cold) requests
+	// are priced at the estimator's measured cost advantage.
+	eng := r.URL.Query().Get("engine")
+	if eng == "" {
+		eng = string(s.cfg.DefaultEngine)
+	}
+	if eng == string(engine.TierAnalytic) || eng == string(engine.TierAuto) {
+		cost /= analyticCostDivisor
+	}
+	return cost
 }
 
 // admit runs the admission gate for one compute request: claim a

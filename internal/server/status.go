@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/engine"
 	"repro/internal/telemetry"
 )
 
@@ -41,6 +42,7 @@ type statusResponse struct {
 	Store     *storeStatus       `json:"store,omitempty"`
 	Sched     schedStatus        `json:"sched"`
 	Cache     cacheStatus        `json:"cache"`
+	Engine    engineStatus       `json:"engine"`
 	Trace     traceStatus        `json:"tracing"`
 	Admission admission.Snapshot `json:"admission"`
 }
@@ -72,6 +74,21 @@ type cacheStatus struct {
 	HitRatio      float64 `json:"hit_ratio"`
 	Coalesced     int64   `json:"coalesced"`
 	Computations  int64   `json:"computations"`
+}
+
+// engineStatus reports the measurement-engine configuration and the
+// background exact-upgrade pipeline's health.
+type engineStatus struct {
+	Default        string `json:"default"`
+	UpgradeWorkers int    `json:"upgrade_workers"`
+	UpgradeDepth   int    `json:"upgrade_queue_depth"`
+	UpgradePending int    `json:"upgrade_pending"`
+	Queued         int64  `json:"upgrades_queued"`
+	Done           int64  `json:"upgrades_done"`
+	Failed         int64  `json:"upgrades_failed,omitempty"`
+	Dropped        int64  `json:"upgrades_dropped,omitempty"`
+	ServedExact    int64  `json:"served_exact"`
+	ServedAnalytic int64  `json:"served_analytic"`
 }
 
 type traceStatus struct {
@@ -137,6 +154,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		HitRatio:      ratio(hits, misses),
 		Coalesced:     int64(s.met.coalesced.Value()),
 		Computations:  int64(s.met.computations.Value()),
+	}
+	s.mu.Lock()
+	nPending := len(s.upgradePending)
+	s.mu.Unlock()
+	resp.Engine = engineStatus{
+		Default:        string(s.cfg.DefaultEngine),
+		UpgradeWorkers: s.cfg.UpgradeWorkers,
+		UpgradeDepth:   len(s.upgradeCh),
+		UpgradePending: nPending,
+		Queued:         int64(s.met.upgrades.With("queued").Value()),
+		Done:           int64(s.met.upgrades.With("done").Value()),
+		Failed:         int64(s.met.upgrades.With("failed").Value()),
+		Dropped:        int64(s.met.upgrades.With("dropped").Value()),
+		ServedExact:    int64(s.met.engineServed.With(string(engine.TierExact)).Value()),
+		ServedAnalytic: int64(s.met.engineServed.With(string(engine.TierAnalytic)).Value()),
 	}
 	if t := s.cfg.Tracer; t != nil {
 		resp.Trace = traceStatus{

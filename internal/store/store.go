@@ -79,6 +79,10 @@ type Key struct {
 	// Copies is the concurrent-copy count of a multi-copy (SPECrate)
 	// record; 0 for single-copy measurements.
 	Copies int `json:"copies,omitempty"`
+	// Engine is the measurement engine tier that produced the record;
+	// "" means the exact (trace-driven) engine, so records written
+	// before engines existed keep their identity and stay warm.
+	Engine string `json:"engine,omitempty"`
 	// Content is the hash of the machine configuration and workload
 	// specification. A changed profile or machine model changes the
 	// hash, so stale records become unreachable instead of wrong.
@@ -93,6 +97,7 @@ func (k Key) ID() string {
 		"|i" + strconv.Itoa(k.Instructions) +
 		"|w" + strconv.Itoa(k.Warmup) +
 		"|c" + strconv.Itoa(k.Copies) +
+		"|e" + k.Engine +
 		"|" + k.Content
 }
 
@@ -131,6 +136,18 @@ func KeyFor(m *machine.Machine, w machine.Workload, opts machine.RunOptions) Key
 func KeyForMulti(m *machine.Machine, w machine.Workload, copies int, opts machine.RunOptions) Key {
 	k := KeyFor(m, w, opts)
 	k.Copies = copies
+	return k
+}
+
+// KeyForEngine returns the store key of a single-copy measurement of w
+// on m as produced by the named engine tier. The exact tier is
+// normalized to the empty string so exact records keep the identity
+// they had before engine tiers existed (old snapshots stay warm).
+func KeyForEngine(m *machine.Machine, w machine.Workload, opts machine.RunOptions, engineTier string) Key {
+	k := KeyFor(m, w, opts)
+	if engineTier != "exact" {
+		k.Engine = engineTier
+	}
 	return k
 }
 
@@ -427,8 +444,8 @@ func keyFromID(id string) Key {
 	var k Key
 	// Fields were joined with '|'; Machine and Workload never contain
 	// one (SPEC-style names), and the numeric fields are prefixed.
-	parts := splitN(id, '|', 6)
-	if len(parts) != 6 {
+	parts := splitN(id, '|', 7)
+	if len(parts) != 7 {
 		return Key{Content: id} // defensive; ids are produced by Key.id
 	}
 	k.Machine = parts[0]
@@ -436,7 +453,8 @@ func keyFromID(id string) Key {
 	k.Instructions, _ = strconv.Atoi(parts[2][1:])
 	k.Warmup, _ = strconv.Atoi(parts[3][1:])
 	k.Copies, _ = strconv.Atoi(parts[4][1:])
-	k.Content = parts[5]
+	k.Engine = parts[5][1:]
+	k.Content = parts[6]
 	return k
 }
 

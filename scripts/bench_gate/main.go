@@ -1,0 +1,79 @@
+// Command bench_gate re-runs the benchmark-snapshot suite and fails
+// (exit 1) when any benchmark regressed more than the tolerance
+// against the last committed BENCH_<n>.json, or when the analytic
+// engine's full-registry speedup over the exact engine falls below
+// its contractual 50×. `make bench-gate` is the entry point; CI runs
+// it after the test suite.
+//
+//	bench_gate [-dir .] [-tolerance 0.30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// minAnalyticSpeedup is the analytic engine's performance contract:
+// the full default registry at default fidelity, ≥50× faster than the
+// trace-driven exact engine (see docs/ENGINES.md).
+const minAnalyticSpeedup = 50.0
+
+func main() {
+	dir := flag.String("dir", ".", "repository root holding the BENCH_<n>.json snapshots")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op growth vs the committed snapshot")
+	flag.Parse()
+
+	path, _, err := bench.Latest(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_gate: %v\n", err)
+		os.Exit(1)
+	}
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "bench_gate: no BENCH_<n>.json snapshot in %s (run `make bench-snapshot` and commit the result)\n", *dir)
+		os.Exit(1)
+	}
+	committed, err := bench.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_gate: %v\n", err)
+		os.Exit(1)
+	}
+
+	current, err := bench.Measure(func(name string) {
+		fmt.Fprintf(os.Stderr, "bench_gate: running %s...\n", name)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_gate: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, reg := range bench.Compare(committed, current, *tolerance) {
+		fmt.Fprintf(os.Stderr, "bench_gate: REGRESSION %s\n", reg)
+		failed = true
+	}
+	for name, cur := range current.Benchmarks {
+		old, ok := committed.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-28s %14d ns/op  (new, no baseline)\n", name, cur.NsPerOp)
+			continue
+		}
+		fmt.Printf("%-28s %14d ns/op  (baseline %d, %+.1f%%)\n",
+			name, cur.NsPerOp, old.NsPerOp,
+			100*float64(cur.NsPerOp-old.NsPerOp)/float64(old.NsPerOp))
+	}
+	if current.AnalyticSpeedup < minAnalyticSpeedup {
+		fmt.Fprintf(os.Stderr, "bench_gate: analytic speedup %.1fx is below the contractual %.0fx\n",
+			current.AnalyticSpeedup, minAnalyticSpeedup)
+		failed = true
+	}
+	fmt.Printf("%-28s %14.1fx  (baseline %.1fx, floor %.0fx)\n",
+		"analytic speedup", current.AnalyticSpeedup, committed.AnalyticSpeedup, minAnalyticSpeedup)
+	if failed {
+		fmt.Fprintf(os.Stderr, "bench_gate: FAILED against %s\n", path)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_gate: OK against %s\n", path)
+}

@@ -1,0 +1,51 @@
+// Command benchsnap runs the benchmark-snapshot suite (see
+// internal/bench) and writes the next committed BENCH_<n>.json in the
+// repository root. `make bench-snapshot` is the entry point; commit
+// the file it writes so `make bench-gate` has a baseline to compare
+// future checkouts against.
+//
+//	benchsnap [-dir .] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "repository root holding the BENCH_<n>.json snapshots")
+	out := flag.String("out", "", "write the snapshot to this file instead of the next BENCH_<n>.json")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		_, n, err := bench.Latest(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+		path = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n+1))
+	}
+
+	snap, err := bench.Measure(func(name string) {
+		fmt.Fprintf(os.Stderr, "benchsnap: running %s...\n", name)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	for _, bm := range bench.Suite() {
+		r := snap.Benchmarks[bm.Name]
+		fmt.Printf("%-28s %14d ns/op  (%d iterations)\n", bm.Name, r.NsPerOp, r.Iterations)
+	}
+	fmt.Printf("%-28s %14.1fx\n", "analytic speedup", snap.AnalyticSpeedup)
+	if err := snap.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

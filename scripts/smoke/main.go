@@ -171,6 +171,46 @@ func main() {
 	}
 	fmt.Println("smoke: /v1/traces has the report trace with all pipeline stages")
 
+	// Measurement engines: the same experiment served analytic and
+	// exact, each under a fresh API key (the near-zero refill rate means
+	// the default client's bucket is already spent), and a bogus engine
+	// value rejected with the allowed set — not silently defaulted.
+	engineGet := func(apiKey, query string) (int, []byte) {
+		req, _ := http.NewRequest("GET", base+"/v1/experiments/table1?instructions=2000"+query, nil)
+		req.Header.Set("X-API-Key", apiKey)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatalf("experiment %s: %v", query, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	var engResp struct {
+		Engine string `json:"engine"`
+	}
+	code, body = engineGet("smoke-analytic", "&engine=analytic")
+	if code != http.StatusOK {
+		fatalf("analytic experiment: %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &engResp); err != nil || engResp.Engine != "analytic" {
+		fatalf("analytic experiment: engine %q (err %v), want analytic", engResp.Engine, err)
+	}
+	fmt.Println("smoke: /v1/experiments/table1?engine=analytic served by the analytic engine")
+	code, body = engineGet("smoke-exact", "&engine=exact")
+	if code != http.StatusOK {
+		fatalf("exact experiment: %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &engResp); err != nil || engResp.Engine != "exact" {
+		fatalf("exact experiment: engine %q (err %v), want exact", engResp.Engine, err)
+	}
+	fmt.Println("smoke: /v1/experiments/table1?engine=exact served by the exact engine")
+	code, body = engineGet("smoke-bogus", "&engine=estimating")
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "valid: exact, analytic, auto") {
+		fatalf("bogus engine: status %d body %s, want 400 naming the valid tiers", code, body)
+	}
+	fmt.Println("smoke: unknown engine value rejected with 400 and the allowed set")
+
 	// The first report spent this client's only admission token; the
 	// next compute request must be shed: 429, the too_many_requests
 	// envelope, and an integer Retry-After.
