@@ -12,24 +12,33 @@
 //	        [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]
 //	        [-rate-limit r] [-burst n] [-max-inflight n] [-max-queue n]
 //	        [-request-timeout d]
+//	        [-jobs] [-max-jobs n] [-job-workers n] [-webhook-timeout d]
 //	        [-trace] [-trace-ring n] [-trace-slow d]
 //	        [-pprof-addr addr] [-log-level level]
 //
 // Endpoints:
 //
-//	GET  /v1/experiments                  catalog of experiment ids
+//	GET  /v1                              discovery document
+//	GET  /v1/experiments                  catalog of experiment ids (paginated)
 //	GET  /v1/experiments/{id}?instructions=N&warmup=M
 //	GET  /v1/report?instructions=N&warmup=M
 //	GET  /v1/batch?experiments=a,b,c      NDJSON result stream
 //	POST /v1/batch                        same, JSON body
+//	POST /v1/jobs                         submit an async experiment sweep
+//	GET  /v1/jobs                         list jobs (paginated)
+//	GET  /v1/jobs/{id}                    job record and per-item progress
+//	DEL  /v1/jobs/{id}                    cancel a job
+//	GET  /v1/jobs/{id}/results            finished job's results, NDJSON
+//	GET  /v1/jobs/{id}/events             job progress as SSE
 //	GET  /v1/healthz                      liveness (503 once draining)
 //	GET  /v1/status                       runtime introspection
 //	GET  /v1/traces                       finished request traces
 //	GET  /healthz
 //	GET  /metrics                         Prometheus text format
 //
-// See docs/SERVER.md for endpoint, caching, and metrics details, and
-// docs/OBSERVABILITY.md for the tracing and logging model.
+// See docs/API.md for the full endpoint reference, docs/JOBS.md for
+// the async-job subsystem, docs/SERVER.md for caching and metrics
+// details, and docs/OBSERVABILITY.md for tracing and logging.
 package main
 
 import (
@@ -75,6 +84,11 @@ type daemonConfig struct {
 	maxQueue  int
 	requestTO time.Duration
 
+	jobs       bool
+	maxJobs    int
+	jobWorkers int
+	webhookTO  time.Duration
+
 	trace     bool
 	traceRing int
 	traceSlow time.Duration
@@ -109,6 +123,10 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&cfg.maxInflt, "max-inflight", 0, "max concurrently admitted compute requests across all clients (0 = unlimited)")
 	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "max simulations pending in the scheduler before shedding with 429 (0 = unbounded)")
 	fs.DurationVar(&cfg.requestTO, "request-timeout", 0, "server-side deadline per compute request, and max scheduler queue wait (0 disables)")
+	fs.BoolVar(&cfg.jobs, "jobs", true, "serve the async-job endpoints (/v1/jobs)")
+	fs.IntVar(&cfg.maxJobs, "max-jobs", 256, "max retained job records; submitting past it evicts the oldest finished job")
+	fs.IntVar(&cfg.jobWorkers, "job-workers", 2, "max jobs executing concurrently")
+	fs.DurationVar(&cfg.webhookTO, "webhook-timeout", 5*time.Second, "per-attempt webhook delivery timeout (negative disables webhooks)")
 	fs.BoolVar(&cfg.trace, "trace", true, "record per-request span trees, served at /v1/traces")
 	fs.IntVar(&cfg.traceRing, "trace-ring", 256, "finished traces to retain in memory")
 	fs.DurationVar(&cfg.traceSlow, "trace-slow", 0, "log the full span tree of traces slower than this (0 disables)")
@@ -140,6 +158,8 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		{"max-inflight", cfg.maxInflt < 0},
 		{"max-queue", cfg.maxQueue < 0},
 		{"request-timeout", cfg.requestTO < 0},
+		{"max-jobs", cfg.maxJobs < 0},
+		{"job-workers", cfg.jobWorkers < 0},
 	} {
 		if check.bad {
 			err := fmt.Errorf("must not be negative")
@@ -214,6 +234,10 @@ func main() {
 		MaxQueue:          cfg.maxQueue,
 		QueueWait:         cfg.requestTO,
 		RequestTimeout:    cfg.requestTO,
+		JobsDisabled:      !cfg.jobs,
+		MaxJobs:           cfg.maxJobs,
+		JobWorkers:        cfg.jobWorkers,
+		WebhookTimeout:    cfg.webhookTO,
 		Store:             st,
 		Metrics:           reg,
 		Log:               logger,

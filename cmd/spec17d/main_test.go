@@ -37,6 +37,41 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.drain != 30*time.Second {
 		t.Errorf("drain = %v, want 30s", cfg.drain)
 	}
+	if !cfg.jobs {
+		t.Error("jobs should default to true")
+	}
+	if cfg.maxJobs != 256 {
+		t.Errorf("maxJobs = %d, want 256", cfg.maxJobs)
+	}
+	if cfg.jobWorkers != 2 {
+		t.Errorf("jobWorkers = %d, want 2", cfg.jobWorkers)
+	}
+	if cfg.webhookTO != 5*time.Second {
+		t.Errorf("webhookTO = %v, want 5s", cfg.webhookTO)
+	}
+}
+
+// Jobs flags land in the config verbatim; -webhook-timeout accepts a
+// negative duration because that is the documented way to disable
+// webhook delivery entirely.
+func TestParseFlagsJobs(t *testing.T) {
+	var buf strings.Builder
+	cfg, err := parseFlags([]string{
+		"-jobs=false", "-max-jobs", "16", "-job-workers", "1",
+		"-webhook-timeout", "-1s",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if cfg.jobs {
+		t.Error("jobs = true, want false")
+	}
+	if cfg.maxJobs != 16 || cfg.jobWorkers != 1 {
+		t.Errorf("maxJobs = %d, jobWorkers = %d", cfg.maxJobs, cfg.jobWorkers)
+	}
+	if cfg.webhookTO != -time.Second {
+		t.Errorf("webhookTO = %v, want -1s", cfg.webhookTO)
+	}
 }
 
 func TestParseFlagsValid(t *testing.T) {
@@ -111,6 +146,8 @@ func TestParseFlagsInvalidAdmission(t *testing.T) {
 		{[]string{"-max-inflight", "-2"}, "-max-inflight"},
 		{[]string{"-max-queue", "-1"}, "-max-queue"},
 		{[]string{"-request-timeout", "-3s"}, "-request-timeout"},
+		{[]string{"-max-jobs", "-1"}, "-max-jobs"},
+		{[]string{"-job-workers", "-2"}, "-job-workers"},
 	} {
 		var buf strings.Builder
 		_, err := parseFlags(tc.args, &buf)

@@ -25,6 +25,7 @@
 package admission
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -189,6 +190,38 @@ func (c *Controller) Admit(client string, cost float64) Decision {
 	}
 	b.tokens -= cost
 	return admitted
+}
+
+// AdmitWait charges cost tokens against client's bucket, blocking
+// until the bucket can afford it or ctx ends. This is the admission
+// mode for background work (async job sweeps): where an interactive
+// request is shed with 429 and retried by its client, a job item has
+// no client waiting on the wire, so it waits for its refill here —
+// background throughput is throttled to the same per-client budget
+// interactive traffic pays, which is what keeps a registry-scale
+// sweep from starving the submitter's own interactive requests.
+//
+// Each blocked attempt counts one rate_limited rejection (the retry
+// sleeps for the controller's own refill estimate, so a waiting item
+// typically records one rejection per wait, not a busy-loop's worth).
+func (c *Controller) AdmitWait(ctx context.Context, client string, cost float64) error {
+	for {
+		dec := c.Admit(client, cost)
+		if dec.OK {
+			return nil
+		}
+		wait := dec.RetryAfter
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // evictLocked makes room for one more bucket when the table is at

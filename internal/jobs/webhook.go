@@ -1,0 +1,147 @@
+package jobs
+
+// Push delivery, half two: webhook callbacks. A job submitted with a
+// webhook URL gets its terminal record POSTed there, with bounded
+// retry and exponential backoff. Delivery state (delivered, attempt
+// count) is part of the job record and checkpointed, so a crash
+// between completion and delivery redelivers at the next boot —
+// at-least-once, never silently zero times.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// WebhookConfig bounds terminal-state callback delivery.
+type WebhookConfig struct {
+	// Timeout bounds one delivery attempt. <= 0 defaults to 5s.
+	Timeout time.Duration
+	// Disabled turns webhook delivery off entirely (jobs still record
+	// the URL; nothing is sent).
+	Disabled bool
+	// MaxAttempts bounds attempts per terminal transition. <= 0
+	// defaults to 5.
+	MaxAttempts int
+	// Backoff is the first retry delay; it doubles per attempt, capped
+	// at 30s. <= 0 defaults to 250ms.
+	Backoff time.Duration
+	// Client overrides the HTTP client (tests). Nil uses a plain
+	// http.Client; per-attempt deadlines come from Timeout.
+	Client *http.Client
+}
+
+func (c WebhookConfig) withDefaults() WebhookConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// webhookPayload is what lands at the callback URL.
+type webhookPayload struct {
+	// Event is "job." + the terminal state, e.g. "job.done".
+	Event string `json:"event"`
+	Job   Job    `json:"job"`
+}
+
+// deliverAsync runs one delivery loop in the background, tracked so
+// Close/Kill wait for in-flight deliveries (their contexts end with
+// the manager's).
+func (m *Manager) deliverAsync(j Job) {
+	if m.cfg.Webhook.Disabled || j.Spec.Webhook == "" {
+		return
+	}
+	m.whWG.Add(1)
+	go func() {
+		defer m.whWG.Done()
+		m.deliver(j)
+	}()
+}
+
+// deliver POSTs the job's terminal record, retrying with exponential
+// backoff up to MaxAttempts. Success is any 2xx.
+func (m *Manager) deliver(j Job) {
+	body, err := json.Marshal(webhookPayload{Event: "job." + string(j.State), Job: j})
+	if err != nil {
+		m.cfg.Log.Error("jobs: webhook payload marshal", "job", j.ID, "error", err.Error())
+		return
+	}
+	wh := m.cfg.Webhook
+	backoff := wh.Backoff
+	attempts := 0
+	for attempts < wh.MaxAttempts {
+		if m.ctx.Err() != nil {
+			break // shutdown; redelivery happens at next boot
+		}
+		attempts++
+		err := m.post(j.Spec.Webhook, body, wh)
+		if err == nil {
+			m.met.webhooks.With("ok").Inc()
+			m.recordDelivery(j.ID, attempts, true)
+			return
+		}
+		m.cfg.Log.Warn("jobs: webhook delivery failed",
+			"job", j.ID, "attempt", attempts, "error", err.Error())
+		if attempts < wh.MaxAttempts {
+			m.met.webhooks.With("retry").Inc()
+			t := time.NewTimer(backoff)
+			select {
+			case <-m.ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > 30*time.Second {
+				backoff = 30 * time.Second
+			}
+		}
+	}
+	m.met.webhooks.With("failed").Inc()
+	m.recordDelivery(j.ID, attempts, false)
+}
+
+// post runs one delivery attempt under its own deadline.
+func (m *Manager) post(url string, body []byte, wh WebhookConfig) error {
+	ctx, cancel := context.WithTimeout(m.ctx, wh.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("User-Agent", "spec17d-webhook/1")
+	resp, err := wh.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// recordDelivery persists the delivery outcome on the job record.
+func (m *Manager) recordDelivery(id string, attempts int, ok bool) {
+	m.mu.Lock()
+	if t, live := m.jobs[id]; live {
+		t.job.WebhookAttempts += attempts
+		t.job.WebhookDelivered = ok
+	}
+	m.mu.Unlock()
+	m.checkpoint()
+}

@@ -190,6 +190,20 @@ func (p *Pool) Queue(cap int) *Queue {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
+// Cap returns the queue's per-queue concurrency cap (0: only the
+// pool's worker count bounds it).
+func (q *Queue) Cap() int { return q.cap }
+
+// Running returns how many of this queue's jobs currently hold a
+// worker. Background submitters (async job sweeps) surface this in
+// /v1/status so an operator can see how much of the simulation pool
+// background work is occupying.
+func (q *Queue) Running() int {
+	q.pool.mu.Lock()
+	defer q.pool.mu.Unlock()
+	return q.running
+}
+
 // Stats is a point-in-time snapshot of the pool's counters, for tests
 // and callers that want to wait for the queue to settle.
 type Stats struct {

@@ -159,7 +159,7 @@ func TestMaxInFlight429(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	var once sync.Once
-	s.compute = func(context.Context, string, machine.RunOptions, engine.Tier) (any, error) {
+	s.compute = func(context.Context, string, machine.RunOptions, engine.Tier, bool) (any, error) {
 		once.Do(func() { close(started) })
 		<-release
 		return "v", nil
@@ -198,7 +198,7 @@ func TestMaxInFlight429(t *testing.T) {
 func TestQueueSaturation429(t *testing.T) {
 	s, _ := newTestServer(Config{SimWorkers: 1, MaxQueue: 1, Workers: 8})
 	release := make(chan struct{})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		return s.queue.Do(ctx, id, func(context.Context) (any, error) {
 			<-release
 			return "v", nil
@@ -256,7 +256,7 @@ func TestQueueSaturation429(t *testing.T) {
 func TestQueueWaitTimeout429(t *testing.T) {
 	s, _ := newTestServer(Config{SimWorkers: 1, QueueWait: 30 * time.Millisecond, Workers: 8})
 	release := make(chan struct{})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		return s.queue.Do(ctx, id, func(context.Context) (any, error) {
 			<-release
 			return "v", nil
@@ -303,7 +303,7 @@ func waitForStats(t *testing.T, s *Server, cond func(sched.Stats) bool) {
 // the 499 a client's own disconnect produces.
 func TestRequestTimeout504(t *testing.T) {
 	s, _ := newTestServer(Config{RequestTimeout: 50 * time.Millisecond})
-	s.compute = func(ctx context.Context, _ string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, _ string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}

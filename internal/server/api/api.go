@@ -1,0 +1,128 @@
+// Package api defines the response conventions of the spec17d /v1
+// surface: the uniform error envelope, the stable error codes clients
+// switch on, and the shared query-parameter rules (strict allowed
+// sets, no present-but-empty values, limit/offset pagination).
+//
+// Every endpoint — including the mux-level 404 and 405 fallbacks and
+// pre-handler admission rejections — answers errors as
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with Content-Type application/json, so clients parse exactly one
+// shape wherever a request fails. See docs/API.md for the full
+// surface.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Error-envelope codes. Stable: clients switch on these strings, so
+// they only ever grow.
+const (
+	CodeUnknownExperiment = "unknown_experiment"
+	CodeUnknownJob        = "unknown_job"
+	CodeBadOptions        = "bad_options"
+	CodeDraining          = "draining"
+	CodeCanceled          = "canceled"
+	CodeInternal          = "internal"
+	CodeTooManyRequests   = "too_many_requests"
+	CodeDeadlineExceeded  = "deadline_exceeded"
+	CodeBodyTooLarge      = "body_too_large"
+	CodeNotFound          = "not_found"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeJobNotDone        = "job_not_done"
+)
+
+// ErrorDetail is the error half of the envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Known lists the valid experiment ids on unknown_experiment.
+	Known []string `json:"known,omitempty"`
+}
+
+// Envelope is the uniform error response body.
+type Envelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// WriteJSON writes v as indented JSON with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// WriteError writes the uniform error envelope.
+func WriteError(w http.ResponseWriter, status int, code, message string, known []string) {
+	WriteJSON(w, status, Envelope{Error: ErrorDetail{
+		Code:    code,
+		Message: message,
+		Known:   known,
+	}})
+}
+
+// NoEmptyParams rejects query parameters that are present but empty
+// (?engine=, ?limit=, a bare ?experiment=). Silently substituting a
+// default would hide the typo; every /v1 endpoint applies this rule
+// before interpreting its parameters.
+func NoEmptyParams(q url.Values) error {
+	for k, vs := range q {
+		for _, v := range vs {
+			if v == "" {
+				return fmt.Errorf("query parameter %q is present but empty; pass a value or omit it", k)
+			}
+		}
+	}
+	return nil
+}
+
+// Page is a parsed limit/offset window. Limit 0 means "no limit".
+type Page struct {
+	Limit  int
+	Offset int
+}
+
+// ParsePage extracts ?limit= and ?offset=. Both must be non-negative
+// integers; limit 0 (or absent) means everything after offset.
+// Present-but-empty values are the caller's to reject via
+// NoEmptyParams first (ParsePage treats "" as absent).
+func ParsePage(q url.Values) (Page, error) {
+	var p Page
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("limit=%q: must be a non-negative integer", v)
+		}
+		p.Limit = n
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("offset=%q: must be a non-negative integer", v)
+		}
+		p.Offset = n
+	}
+	return p, nil
+}
+
+// Window applies the page to a list of length n, returning the
+// [lo, hi) bounds. An offset past the end yields an empty window.
+func (p Page) Window(n int) (lo, hi int) {
+	lo = p.Offset
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if p.Limit > 0 && lo+p.Limit < hi {
+		hi = lo + p.Limit
+	}
+	return lo, hi
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/server/api"
 	"repro/internal/telemetry"
 )
 
@@ -66,6 +67,42 @@ type batchLine struct {
 	Error     *errorDetail `json:"error,omitempty"`
 }
 
+// lineWriter serializes NDJSON result lines onto one response,
+// flushing after each so clients see lines as they complete. Shared
+// by the batch stream and the job-results endpoint, so both emit the
+// same bytes for the same results.
+type lineWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func newLineWriter(w http.ResponseWriter) *lineWriter {
+	f, _ := w.(http.Flusher)
+	return &lineWriter{enc: json.NewEncoder(w), flusher: f}
+}
+
+func (lw *lineWriter) emit(line batchLine) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if err := lw.enc.Encode(line); err != nil {
+		return // client gone; ctx cancellation stops the rest
+	}
+	lw.flushLocked()
+}
+
+func (lw *lineWriter) flush() {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.flushLocked()
+}
+
+func (lw *lineWriter) flushLocked() {
+	if lw.flusher != nil {
+		lw.flusher.Flush()
+	}
+}
+
 // parseBatchRequest extracts a batchRequest from either encoding. The
 // ResponseWriter is needed because MaxBytesReader uses it to close the
 // connection when the body limit trips (passing nil would panic there
@@ -93,15 +130,12 @@ func parseBatchRequest(w http.ResponseWriter, r *http.Request) (batchRequest, er
 			return req, fmt.Errorf("unknown query parameter %q (valid: experiments, instructions, warmup, concurrency, engine)", k)
 		}
 	}
-	// Present-but-empty is rejected like any other unknown value, not
+	// Present-but-empty (?engine=, ?instructions=) is rejected, not
 	// silently mapped to the server default.
-	if _, present := q["engine"]; present {
-		req.Engine = q.Get("engine")
-		if req.Engine == "" {
-			_, err := engine.ParseTier("")
-			return req, err
-		}
+	if err := api.NoEmptyParams(q); err != nil {
+		return req, err
 	}
+	req.Engine = q.Get("engine")
 	for _, part := range strings.Split(q.Get("experiments"), ",") {
 		if part = strings.TrimSpace(part); part != "" {
 			req.Experiments = append(req.Experiments, part)
@@ -211,31 +245,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	if flusher != nil {
-		// Push the status line and headers out now: clients see the
-		// stream open as soon as the batch is accepted, not when its
-		// first experiment completes.
-		flusher.Flush()
-	}
+	lw := newLineWriter(w)
+	// Push the status line and headers out now: clients see the
+	// stream open as soon as the batch is accepted, not when its
+	// first experiment completes.
+	lw.flush()
 
 	var (
-		writeMu sync.Mutex
-		enc     = json.NewEncoder(w)
-		wg      sync.WaitGroup
-		slots   = make(chan struct{}, conc)
-		ctx     = r.Context()
+		wg    sync.WaitGroup
+		slots = make(chan struct{}, conc)
+		ctx   = r.Context()
 	)
-	emit := func(line batchLine) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := enc.Encode(line); err != nil {
-			return // client gone; ctx cancellation stops the rest
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	emit := lw.emit
 	for _, id := range ids {
 		select {
 		case slots <- struct{}{}:
@@ -276,7 +297,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ictx, isp := s.cfg.Tracer.StartTrace(ctx, "batch.item", "",
 				"experiment", id, "engine", string(tier),
 				"parent_trace", telemetry.FromContext(ctx).TraceID())
-			val, cached, _, err := s.fetch(ictx, id, opts, tier)
+			val, cached, _, err := s.fetch(ictx, id, opts, tier, false)
 			isp.End()
 			elapsed := time.Since(start)
 			s.met.batchItems.With(id).Observe(elapsed.Seconds())

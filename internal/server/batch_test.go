@@ -40,7 +40,7 @@ func TestBatchStreamsIncrementally(t *testing.T) {
 		"fig1":   make(chan struct{}),
 	}
 	s := New(Config{Workers: 4, Tracer: telemetry.NewTracer(telemetry.TracerConfig{})})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		if ch, ok := releases[id]; ok {
 			select {
 			case <-ch:
@@ -128,7 +128,7 @@ func TestBatchDisconnectCancelsOnlyOwnWork(t *testing.T) {
 		}
 	)
 	s := New(Config{Workers: 4})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		mu.Lock()
 		ctxs[id] = ctx
 		mu.Unlock()
@@ -310,7 +310,7 @@ func TestBatchConcurrencyCap(t *testing.T) {
 	)
 	release := make(chan struct{})
 	s := New(Config{Workers: 8, BatchConcurrency: 8})
-	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, _ machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		mu.Lock()
 		running++
 		if running > peak {

@@ -22,7 +22,7 @@ import (
 func newEngineTestServer(cfg Config) (*Server, *atomic.Int64) {
 	s := New(cfg)
 	var computations atomic.Int64
-	s.compute = func(_ context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions, tier engine.Tier, _ bool) (any, error) {
 		computations.Add(1)
 		c := opts.Canonical()
 		return map[string]any{"id": id, "instructions": c.Instructions, "tier": string(tier)}, nil
@@ -60,20 +60,23 @@ func TestEngineParamRejected(t *testing.T) {
 	defer ts.Close()
 	defer s.Close()
 
-	for _, path := range []string{
-		"/v1/experiments/table1?engine=anaytic",
-		"/v1/experiments/table1?engine=Exact",
-		"/v1/experiments/table1?engine=",
-		"/v1/report?engine=fast",
-		"/v1/batch?experiments=table1&engine=approximate",
-		"/v1/batch?experiments=table1&engine=",
+	for _, tc := range []struct {
+		path string
+		want string // substring the 400 body must carry
+	}{
+		{"/v1/experiments/table1?engine=anaytic", "valid: exact, analytic, auto"},
+		{"/v1/experiments/table1?engine=Exact", "valid: exact, analytic, auto"},
+		{"/v1/experiments/table1?engine=", "present but empty"},
+		{"/v1/report?engine=fast", "valid: exact, analytic, auto"},
+		{"/v1/batch?experiments=table1&engine=approximate", "valid: exact, analytic, auto"},
+		{"/v1/batch?experiments=table1&engine=", "present but empty"},
 	} {
-		code, body := get(t, ts, path)
+		code, body := get(t, ts, tc.path)
 		if code != http.StatusBadRequest {
-			t.Errorf("GET %s: status %d, want 400 (body %s)", path, code, body)
+			t.Errorf("GET %s: status %d, want 400 (body %s)", tc.path, code, body)
 		}
-		if !strings.Contains(string(body), "valid: exact, analytic, auto") {
-			t.Errorf("GET %s: body %q does not list the valid tiers", path, body)
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("GET %s: body %q does not contain %q", tc.path, body, tc.want)
 		}
 	}
 	if n := computations.Load(); n != 0 {

@@ -1,0 +1,377 @@
+package server
+
+// The HTTP face of the async-job subsystem, plus the glue binding
+// internal/jobs to the server's compute path: job items execute
+// through the same fetch/cache/singleflight/scheduler machinery as
+// interactive requests (so results are bit-identical and park in the
+// store under normal keys), but on the capped background queue and
+// under blocking per-client admission.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/machine"
+	"repro/internal/server/api"
+	"repro/internal/telemetry"
+)
+
+// maxJobBodyBytes bounds the POST /v1/jobs body.
+const maxJobBodyBytes = 1 << 20
+
+// sseKeepalive is the comment-ping interval on /v1/jobs/{id}/events,
+// keeping idle streams alive through proxies between real events.
+const sseKeepalive = 15 * time.Second
+
+// newJobManager builds the jobs manager wired to this server: items
+// run through runJobItem (test-overridable via s.jobsRunner), each
+// job gets a root job.run trace spanning the whole sweep, and job
+// state checkpoints next to the measurement store's snapshot.
+func (s *Server) newJobManager() {
+	m, err := jobs.New(jobs.Config{
+		Path:       s.cfg.JobsPath,
+		MaxJobs:    s.cfg.MaxJobs,
+		MaxRunning: s.cfg.JobWorkers,
+		Runner: func(ctx context.Context, j jobs.Job, item string) error {
+			return s.jobsRunner(ctx, j, item)
+		},
+		OnJobStart: func(ctx context.Context, j jobs.Job) (context.Context, func(jobs.State)) {
+			// The job-root span: every item's trace links back to it via
+			// parent_trace, so one slow sweep reads as one tree.
+			ctx, sp := s.cfg.Tracer.StartTrace(ctx, "job.run", "job-"+j.ID,
+				"job", j.ID, "items", strconv.Itoa(len(j.Items)))
+			return ctx, func(final jobs.State) {
+				if sp != nil {
+					sp.SetAttr("final", string(final))
+					sp.End()
+				}
+			}
+		},
+		Webhook: jobs.WebhookConfig{
+			Timeout:  s.cfg.WebhookTimeout,
+			Disabled: s.cfg.WebhookTimeout < 0,
+		},
+		Metrics: s.cfg.Metrics,
+		Log:     s.cfg.Log,
+	})
+	if err != nil {
+		s.cfg.Log.Warn("jobs snapshot discarded", "err", err)
+	}
+	s.jobs = m
+}
+
+// runJobItem measures one sweep item through the ordinary fetch path.
+// Background admission blocks (AdmitWait) instead of shedding: a job
+// item has no client on the wire to retry, so it waits for the
+// submitter's bucket to refill — which is exactly what throttles a
+// registry-scale sweep below interactive traffic.
+func (s *Server) runJobItem(ctx context.Context, j jobs.Job, item string) error {
+	opts := machine.RunOptions{Instructions: j.Spec.Instructions, WarmupInstructions: j.Spec.Warmup}
+	reqTier := s.cfg.DefaultEngine
+	if j.Spec.Engine != "" {
+		t, err := engine.ParseTier(j.Spec.Engine)
+		if err != nil {
+			return err // unreachable: validated at submit
+		}
+		reqTier = t
+	}
+	tier, upgrade := s.resolveTier(item, opts, reqTier)
+	if upgrade {
+		s.queueUpgrade(item, opts)
+	}
+	cost := admission.Cost(opts.Instructions, 1)
+	if tier == engine.TierAnalytic || reqTier == engine.TierAuto {
+		cost /= analyticCostDivisor
+	}
+	// A separate "jobs:" bucket namespace: the sweep spends a budget of
+	// its own at the same refill rate, rather than draining the tokens
+	// the submitter's interactive requests are counting on.
+	if err := s.adm.AdmitWait(ctx, "jobs:"+j.Spec.Client, cost); err != nil {
+		return err
+	}
+	s.met.engineServed.With(string(tier)).Inc()
+	ictx, isp := s.cfg.Tracer.StartTrace(ctx, "job.item", "",
+		"experiment", item, "job", j.ID, "engine", string(tier),
+		"parent_trace", telemetry.FromContext(ctx).TraceID())
+	_, _, _, err := s.fetch(ictx, item, opts, tier, true)
+	isp.End()
+	return err
+}
+
+// jobSubmitRequest is the POST /v1/jobs body: a batch request plus
+// push-delivery options.
+type jobSubmitRequest struct {
+	// Experiments lists the sweep's experiment ids; "all" expands to
+	// the full registry, duplicates collapse.
+	Experiments []string `json:"experiments"`
+	// Instructions and Warmup select the fidelity, as on /v1/batch.
+	Instructions int `json:"instructions,omitempty"`
+	Warmup       int `json:"warmup,omitempty"`
+	// Engine selects the measurement tier for every item.
+	Engine string `json:"engine,omitempty"`
+	// Concurrency caps concurrently executing items (clamped to the
+	// server's batch concurrency).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Webhook, when set, receives the job's terminal state by POST.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// handleJobSubmit is POST /v1/jobs: validate the sweep up front
+// (everything a batch request validates, plus the webhook URL),
+// submit, answer 202 with the job record and a Location header.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req jobSubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("job body exceeds the %d-byte limit", tooLarge.Limit), nil)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadOptions,
+			fmt.Sprintf("decoding job body: %v", err), nil)
+		return
+	}
+	ids, err := resolveBatchIDs(req.Experiments)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownExperiment, err.Error(), experiments.SortedIDs())
+		return
+	}
+	opts := machine.RunOptions{Instructions: req.Instructions, WarmupInstructions: req.Warmup}
+	if err := validateBatchOptions(opts); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	if req.Engine != "" {
+		if _, err := engine.ParseTier(req.Engine); err != nil {
+			writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+			return
+		}
+	}
+	if req.Webhook != "" {
+		u, err := url.Parse(req.Webhook)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("webhook=%q: must be an absolute http(s) URL", req.Webhook), nil)
+			return
+		}
+	}
+	if req.Concurrency < 0 {
+		writeError(w, http.StatusBadRequest, codeBadOptions,
+			fmt.Sprintf("concurrency=%d: must be non-negative", req.Concurrency), nil)
+		return
+	}
+	conc := req.Concurrency
+	if conc == 0 || conc > s.cfg.BatchConcurrency {
+		conc = s.cfg.BatchConcurrency
+	}
+
+	j, err := s.jobs.Submit(jobs.Spec{
+		Experiments:  ids,
+		Instructions: req.Instructions,
+		Warmup:       req.Warmup,
+		Engine:       req.Engine,
+		Concurrency:  conc,
+		Webhook:      req.Webhook,
+		Client:       clientKey(r),
+	})
+	switch {
+	case errors.Is(err, jobs.ErrTooManyJobs):
+		s.writeShed(w, err.Error(), 0)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, codeDraining, err.Error(), nil)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	if sp := telemetry.FromContext(r.Context()); sp != nil {
+		sp.SetAttr("job", j.ID)
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+// handleJobList is GET /v1/jobs: every retained job, newest first,
+// windowed by ?limit=/?offset= with X-Total-Count.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "limit", "offset":
+		default:
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("unknown query parameter %q (valid: limit, offset)", k), nil)
+			return
+		}
+	}
+	if err := api.NoEmptyParams(q); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	page, err := api.ParsePage(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	all := s.jobs.List()
+	lo, hi := page.Window(len(all))
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(all)))
+	writeJSON(w, http.StatusOK, struct {
+		Total  int        `json:"total"`
+		Count  int        `json:"count"`
+		Offset int        `json:"offset"`
+		Jobs   []jobs.Job `json:"jobs"`
+	}{len(all), hi - lo, lo, all[lo:hi]})
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownJob,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: idempotent cancellation.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, codeUnknownJob,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleJobResults is GET /v1/jobs/{id}/results: the sweep's results
+// as NDJSON in submission order, one line per item in the same shape
+// /v1/batch streams. Results are re-fetched through the ordinary
+// cache/store path, so the bytes equal what a batch request for the
+// same inputs returns. A job still running answers 409 — stream the
+// events endpoint instead, then come back.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownJob,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")), nil)
+		return
+	}
+	if !j.State.Terminal() {
+		writeError(w, http.StatusConflict, codeJobNotDone,
+			fmt.Sprintf("job %s is %s; results are served once it reaches a terminal state", j.ID, j.State), nil)
+		return
+	}
+	opts := machine.RunOptions{Instructions: j.Spec.Instructions, WarmupInstructions: j.Spec.Warmup}
+	reqTier := s.cfg.DefaultEngine
+	if j.Spec.Engine != "" {
+		if t, err := engine.ParseTier(j.Spec.Engine); err == nil {
+			reqTier = t
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	lw := newLineWriter(w)
+	for _, it := range j.Items {
+		start := time.Now()
+		switch it.Status {
+		case jobs.ItemDone:
+			tier, _ := s.resolveTier(it.ID, opts, reqTier)
+			val, cached, _, err := s.fetch(r.Context(), it.ID, opts, tier, true)
+			if err != nil {
+				lw.emit(batchLine{ID: it.ID, Status: "error",
+					ElapsedMS: time.Since(start).Milliseconds(),
+					Error:     &errorDetail{Code: codeInternal, Message: err.Error()}})
+				continue
+			}
+			lw.emit(batchLine{ID: it.ID, Status: "ok", Engine: string(tier),
+				Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Result: val})
+		case jobs.ItemError:
+			lw.emit(batchLine{ID: it.ID, Status: "error",
+				Error: &errorDetail{Code: codeInternal, Message: it.Error}})
+		default:
+			// Cancelled before this item ran.
+			lw.emit(batchLine{ID: it.ID, Status: "error",
+				Error: &errorDetail{Code: codeCanceled, Message: "item not run (job " + string(j.State) + ")"}})
+		}
+	}
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: the job's progress as
+// Server-Sent Events. The stream opens with a synthetic "state" event
+// describing the job as of subscription (late subscribers miss
+// nothing they still need), then carries one event per item
+// completion and state transition, and ends itself once the job is
+// terminal. Deliberately untraced: a stream that lives for the whole
+// sweep must not pin an admission in-flight slot.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	snap, ch, cancel, ok := s.jobs.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownJob,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")), nil)
+		return
+	}
+	defer cancel()
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	send := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !send(snap) || snap.Terminal() {
+		return
+	}
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // job went terminal (event already sent) or we were dropped
+			}
+			if !send(ev) || ev.Terminal() {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,166 @@
+//go:build !race
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/store"
+)
+
+// TestJobCrashResumeIntegration is the durability acceptance test on
+// the real (analytic-tier) compute path: a sweep is killed mid-run
+// the way a crashed daemon dies — no graceful drain, no final
+// checkpoint — and a second server booted on the same store and jobs
+// snapshot must resume it from the per-item checkpoints, re-measure
+// only the unfinished items, and serve results byte-identical to what
+// /v1/batch computes for the same inputs.
+//
+// Excluded from -race builds like the other real-engine integration
+// tests; the resume logic itself runs under -race with stubbed
+// runners in internal/jobs.
+func TestJobCrashResumeIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real analytic measurements")
+	}
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "store.json")
+	jobsPath := filepath.Join(dir, "jobs.json")
+
+	ids := experiments.IDs()
+	if len(ids) > 8 {
+		ids = ids[:8]
+	}
+	const beforeKill = 3
+	if len(ids) <= beforeKill {
+		t.Fatalf("registry too small: %d experiments", len(ids))
+	}
+
+	openServer := func() *Server {
+		st, err := store.Open(store.Config{Path: storePath})
+		if err != nil {
+			t.Fatalf("opening store: %v", err)
+		}
+		return New(Config{
+			Store:         st,
+			JobsPath:      jobsPath,
+			DefaultEngine: engine.TierAnalytic,
+			Workers:       2,
+		})
+	}
+
+	// Phase 1: run the sweep until beforeKill items completed, then
+	// die hard while the next item is mid-measurement.
+	s1 := openServer()
+	var phase1 atomic.Int64
+	killNow := make(chan struct{})
+	inner1 := s1.jobsRunner
+	s1.jobsRunner = func(ctx context.Context, j jobs.Job, item string) error {
+		if phase1.Load() >= beforeKill {
+			close(killNow)
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		if err := inner1(ctx, j, item); err != nil {
+			return err
+		}
+		phase1.Add(1)
+		return nil
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	j := submitJob(t, ts1, map[string]any{
+		"experiments":  ids,
+		"instructions": 2000,
+		"engine":       "analytic",
+		"concurrency":  1,
+	})
+
+	select {
+	case <-killNow:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never reached the kill point")
+	}
+	ts1.Close()
+	s1.Close() // the crash: no drain, no final jobs checkpoint
+
+	// Phase 2: a fresh daemon on the same snapshots resumes the job.
+	s2 := openServer()
+	defer s2.Close()
+	var phase2 atomic.Int64
+	inner2 := s2.jobsRunner
+	s2.jobsRunner = func(ctx context.Context, j jobs.Job, item string) error {
+		phase2.Add(1)
+		return inner2(ctx, j, item)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	done := waitJobDone(t, ts2, j.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("resumed job state = %s, want done (error %q)", done.State, done.Error)
+	}
+	if !done.Resumed {
+		t.Error("resumed job does not carry resumed=true")
+	}
+	for _, it := range done.Items {
+		if it.Status != jobs.ItemDone {
+			t.Errorf("item %s status = %s, want done", it.ID, it.Status)
+		}
+	}
+	// Only the unfinished items re-measure; work done before the crash
+	// is preserved by the per-item checkpoints.
+	if got, want := phase2.Load(), int64(len(ids)-beforeKill); got != want {
+		t.Errorf("resume re-ran %d items, want %d (completed items must not re-measure)", got, want)
+	}
+
+	// The resumed sweep's results equal a batch of the same inputs.
+	code, body := get(t, ts2, "/v1/jobs/"+j.ID+"/results")
+	if code != 200 {
+		t.Fatalf("results: status %d: %s", code, body)
+	}
+	jobLines := parseLines(t, body)
+
+	bcode, _, bbody := postJSON(t, ts2, "/v1/batch", map[string]any{
+		"experiments":  ids,
+		"instructions": 2000,
+		"engine":       "analytic",
+	})
+	if bcode != 200 {
+		t.Fatalf("batch: status %d: %s", bcode, bbody)
+	}
+	batchLines := map[string]resultLine{}
+	for _, l := range parseLines(t, bbody) {
+		batchLines[l.ID] = l
+	}
+	if len(jobLines) != len(ids) {
+		t.Fatalf("job results have %d lines, want %d", len(jobLines), len(ids))
+	}
+	for i, l := range jobLines {
+		if l.ID != ids[i] {
+			t.Errorf("line %d is %q, want %q (submission order)", i, l.ID, ids[i])
+		}
+		if l.Status != "ok" {
+			t.Errorf("item %s status %q: %v", l.ID, l.Status, l.Error)
+			continue
+		}
+		b, ok := batchLines[l.ID]
+		if !ok {
+			t.Errorf("batch has no line for %s", l.ID)
+			continue
+		}
+		if !bytes.Equal(l.Result, b.Result) {
+			t.Errorf("experiment %s: resumed job result differs from batch:\njob:   %s\nbatch: %s",
+				l.ID, l.Result, b.Result)
+		}
+	}
+}

@@ -23,7 +23,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -38,9 +37,11 @@ import (
 	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/server/api"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -129,6 +130,23 @@ type Config struct {
 	// disables upgrading (auto then never converges to exact on its
 	// own).
 	UpgradeWorkers int
+	// JobsDisabled turns the async-job subsystem off: the /v1/jobs
+	// routes are not registered and no job state is loaded.
+	JobsDisabled bool
+	// MaxJobs bounds retained async jobs (running and finished).
+	// Defaults to 256.
+	MaxJobs int
+	// JobWorkers bounds concurrently executing async jobs. Defaults
+	// to 2.
+	JobWorkers int
+	// JobsPath is the job-state snapshot file. Empty defaults to the
+	// store's snapshot path + ".jobs" when the store persists; with no
+	// persistent store, jobs are memory-only and do not survive
+	// restarts.
+	JobsPath string
+	// WebhookTimeout bounds one job-webhook delivery attempt. 0
+	// defaults to 5s; negative disables webhook delivery entirely.
+	WebhookTimeout time.Duration
 	// Store, when set, backs every Lab the server builds: measurements
 	// are content-addressed, deduplicated across fidelities, and — when
 	// the store has a snapshot path — survive restarts, so a warm
@@ -171,6 +189,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = engine.TierExact
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.WebhookTimeout == 0 {
+		c.WebhookTimeout = 5 * time.Second
+	}
+	if c.JobsPath == "" && c.Store != nil && c.Store.Path() != "" {
+		c.JobsPath = c.Store.Path() + ".jobs"
 	}
 	if c.UpgradeWorkers == 0 {
 		c.UpgradeWorkers = 2
@@ -246,13 +276,32 @@ type Server struct {
 	cfg     Config
 	met     serverMetrics
 	mux     *http.ServeMux
+	routes  []routeDef
 	started time.Time
 
 	flight *group
-	sem    chan struct{}         // worker-pool slots
-	pool   *sched.Pool           // shared simulation scheduler
-	queue  *sched.Queue          // the server's queue on pool (uncapped)
-	adm    *admission.Controller // overload-protection gate
+	sem    chan struct{} // worker-pool slots (interactive requests)
+	// jobsSem bounds background (job-item) computations separately,
+	// and strictly below Workers when Workers > 1 — a sweep whose
+	// items all stall can never hold every worker slot an interactive
+	// request needs.
+	jobsSem chan struct{}
+	pool    *sched.Pool           // shared simulation scheduler
+	queue   *sched.Queue          // the server's queue on pool (uncapped)
+	adm     *admission.Controller // overload-protection gate
+
+	// jobs is the async-job subsystem (nil when JobsDisabled). Its
+	// items execute on jobsQueue — a scheduler queue capped one below
+	// the pool's worker count, so a registry-scale background sweep
+	// always leaves at least one simulation worker for interactive
+	// traffic.
+	jobs      *jobs.Manager
+	jobsQueue *sched.Queue
+	jobsStart sync.Once
+	// jobsRunner executes one job item; defaults to runJobItem.
+	// Overridable in tests (before the first Handler call) to observe
+	// or interrupt job execution.
+	jobsRunner func(ctx context.Context, j jobs.Job, item string) error
 
 	// draining is set once Shutdown begins; computation endpoints then
 	// answer 503 instead of starting work the drain deadline would
@@ -278,7 +327,9 @@ type Server struct {
 	// tests to observe and control the computation path; the default
 	// runs the experiment registry on a cached Lab. The context is the
 	// flight's: canceled when every waiting request has disconnected.
-	compute func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error)
+	// background marks async-job work, which runs on the capped jobs
+	// scheduler queue instead of the interactive one.
+	compute func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, background bool) (any, error)
 	// computeStarted, when set (tests), is invoked by the flight
 	// leader right before compute.
 	computeStarted func(key string)
@@ -322,20 +373,39 @@ func New(cfg Config) *Server {
 		go s.upgradeWorker()
 	}
 
-	// Compute endpoints are traced (they do real work worth a span
-	// tree); the observability surface itself — health, status, traces,
-	// metrics — is not, so scraping it never churns the trace ring.
+	if !cfg.JobsDisabled {
+		bg := s.pool.Workers() - 1
+		if bg < 1 {
+			bg = 1
+		}
+		s.jobsQueue = s.pool.Queue(bg)
+		// The worker-slot bound mirrors the queue cap: one below the
+		// interactive pool when possible, so background computations can
+		// never occupy every slot.
+		bgSem := cfg.Workers - 1
+		if bgSem < 1 {
+			bgSem = 1
+		}
+		s.jobsSem = make(chan struct{}, bgSem)
+		s.jobsRunner = s.runJobItem
+		s.newJobManager()
+	}
+
+	// The route table is the single source of truth for the mux, the
+	// 405 Allow computation, and the GET /v1 discovery document.
+	s.routes = s.routeTable()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
-	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleLiveness))
-	s.mux.HandleFunc("GET /v1/status", s.instrument("/v1/status", false, s.handleStatus))
-	s.mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", false, s.handleTraces))
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/experiments", s.instrument("/v1/experiments", false, s.handleCatalog))
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("/v1/experiments/{id}", true, s.handleExperiment))
-	s.mux.HandleFunc("GET /v1/report", s.instrument("/v1/report", true, s.handleReport))
-	s.mux.HandleFunc("GET /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
-	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
+	for _, rt := range s.routes {
+		if rt.raw {
+			s.mux.HandleFunc(rt.method+" "+rt.pattern, rt.h)
+			continue
+		}
+		s.mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.pattern, rt.traced, rt.h))
+	}
+	// Everything else — unknown paths, and known paths with the wrong
+	// method (a method-mismatched request falls through to this
+	// pattern) — answers the same error envelope as real handlers.
+	s.mux.HandleFunc("/", s.instrument("fallback", false, s.handleFallback))
 	return s
 }
 
@@ -343,8 +413,16 @@ func New(cfg Config) *Server {
 func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
 // Handler returns the server's HTTP handler, for mounting in tests or
-// a caller-owned http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// a caller-owned http.Server. The first call starts the async-job
+// workers (so tests can swap the job runner between New and Handler).
+func (s *Server) Handler() http.Handler {
+	s.jobsStart.Do(func() {
+		if s.jobs != nil {
+			s.jobs.Start()
+		}
+	})
+	return s.mux
+}
 
 // Serve accepts connections on l until Shutdown. It returns nil after
 // a clean shutdown.
@@ -381,6 +459,11 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopUpgrades()
+	if s.jobs != nil {
+		// Graceful: interrupt running items, revert them to pending, and
+		// write a final checkpoint so the next boot resumes mid-sweep.
+		s.jobs.Close()
+	}
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -397,6 +480,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.stopUpgrades()
+	if s.jobs != nil {
+		// SIGKILL-shaped: no final checkpoint — on-disk job state stays
+		// whatever the last per-item checkpoint wrote.
+		s.jobs.Kill()
+	}
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -423,9 +511,17 @@ func cacheKey(id string, opts machine.RunOptions, tier engine.Tier) string {
 // labFor returns the Lab for one (fidelity, engine tier), creating and
 // caching it on first use. Labs build their fleet characterization
 // lazily, so creation is cheap; the LRU bound caps how many full
-// characterizations stay resident.
-func (s *Server) labFor(opts machine.RunOptions, tier engine.Tier) *experiments.Lab {
+// characterizations stay resident. Background (async-job) work gets
+// its own Labs on the capped jobs queue, so its leaf simulations can
+// never occupy every pool worker; the measurement store underneath is
+// shared, so the bytes computed are identical either way.
+func (s *Server) labFor(opts machine.RunOptions, tier engine.Tier, background bool) *experiments.Lab {
 	key := cacheKey("", opts, tier)
+	queue := s.queue
+	if background && s.jobsQueue != nil {
+		key = "jobs|" + key
+		queue = s.jobsQueue
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v, ok := s.labs.get(key); ok {
@@ -437,7 +533,7 @@ func (s *Server) labFor(opts machine.RunOptions, tier engine.Tier) *experiments.
 	if tier == engine.TierAnalytic {
 		eng = engine.Analytic{}
 	}
-	lab := experiments.NewLabWithEngine(opts.Canonical(), s.cfg.Store, s.queue, eng)
+	lab := experiments.NewLabWithEngine(opts.Canonical(), s.cfg.Store, queue, eng)
 	s.labs.put(key, lab)
 	return lab
 }
@@ -445,8 +541,8 @@ func (s *Server) labFor(opts machine.RunOptions, tier engine.Tier) *experiments.
 // runExperiment is the default compute path: resolve the registry
 // entry (or the full report) and run it on the (fidelity, tier)'s
 // shared Lab under the flight's context.
-func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
-	lab := s.labFor(opts, tier).WithContext(ctx)
+func (s *Server) runExperiment(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, background bool) (any, error) {
+	lab := s.labFor(opts, tier, background).WithContext(ctx)
 	if id == reportID {
 		return experiments.BuildReport(lab)
 	}
@@ -525,7 +621,7 @@ func (s *Server) upgradeWorker() {
 			return
 		case job := <-s.upgradeCh:
 			s.met.upgradeDepth.Set(float64(len(s.upgradeCh)))
-			_, _, _, err := s.fetch(s.upgradeCtx, job.id, job.opts, engine.TierExact)
+			_, _, _, err := s.fetch(s.upgradeCtx, job.id, job.opts, engine.TierExact, false)
 			s.mu.Lock()
 			delete(s.upgradePending, job.key)
 			s.mu.Unlock()
@@ -555,7 +651,7 @@ func (s *Server) stopUpgrades() {
 // computation, and bounding concurrent computations by the worker
 // pool. Canceling ctx abandons this caller's wait; a computation all
 // of whose callers have disconnected is itself canceled.
-func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (val any, cached, coalesced bool, err error) {
+func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, background bool) (val any, cached, coalesced bool, err error) {
 	key := cacheKey(id, opts, tier)
 	s.mu.Lock()
 	if v, ok := s.results.get(key); ok {
@@ -572,12 +668,16 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions, 
 	parentSpan := telemetry.FromContext(ctx)
 	val, err, joined := s.flight.do(ctx, key, func(fctx context.Context) (any, error) {
 		fctx = telemetry.WithSpan(fctx, parentSpan)
+		sem := s.sem
+		if background {
+			sem = s.jobsSem
+		}
 		select {
-		case s.sem <- struct{}{}: // acquire a worker slot
+		case sem <- struct{}{}: // acquire a worker slot
 		case <-fctx.Done():
 			return nil, fctx.Err() // every waiter left while queued
 		}
-		defer func() { <-s.sem }()
+		defer func() { <-sem }()
 		// A result may have landed while this flight queued behind
 		// the worker pool (e.g. an identical flight finished between
 		// our cache miss and our turn).
@@ -594,7 +694,7 @@ func (s *Server) fetch(ctx context.Context, id string, opts machine.RunOptions, 
 			s.computeStarted(key)
 		}
 		s.met.computations.Inc()
-		v, err := s.compute(fctx, id, opts, tier)
+		v, err := s.compute(fctx, id, opts, tier, background)
 		if err != nil {
 			return nil, err
 		}
@@ -631,6 +731,11 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, engine.Tier, error) {
 			return opts, tier, fmt.Errorf("query parameter %q given %d times, want at most once", k, len(vs))
 		}
 	}
+	// Present-but-empty (?instructions=, ?warmup=, ?engine=) is
+	// rejected everywhere rather than silently reading as "absent".
+	if err := api.NoEmptyParams(q); err != nil {
+		return opts, tier, err
+	}
 	if v := q.Get("instructions"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
@@ -651,10 +756,8 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, engine.Tier, error) {
 		}
 		opts.WarmupInstructions = n
 	}
-	// "?engine=" (present but empty) is rejected like any other unknown
-	// value: silently substituting the default would hide the typo.
-	if _, present := q["engine"]; present {
-		t, err := engine.ParseTier(q.Get("engine"))
+	if v := q.Get("engine"); v != "" {
+		t, err := engine.ParseTier(v)
 		if err != nil {
 			return opts, tier, err
 		}
@@ -668,36 +771,30 @@ func parseRunOptions(r *http.Request) (machine.RunOptions, engine.Tier, error) {
 
 // Error-envelope codes. Every non-200 JSON response is
 // {"error":{"code","message"}} with one of these codes, so clients
-// switch on a stable string instead of parsing messages.
+// switch on a stable string instead of parsing messages. The codes
+// (and the envelope itself) are defined once in internal/server/api
+// and shared by every layer, including the mux fallbacks.
 const (
-	codeUnknownExperiment = "unknown_experiment"
-	codeBadOptions        = "bad_options"
-	codeDraining          = "draining"
-	codeCanceled          = "canceled"
-	codeInternal          = "internal"
-	codeTooManyRequests   = "too_many_requests"
-	codeDeadlineExceeded  = "deadline_exceeded"
-	codeBodyTooLarge      = "body_too_large"
+	codeUnknownExperiment = api.CodeUnknownExperiment
+	codeUnknownJob        = api.CodeUnknownJob
+	codeBadOptions        = api.CodeBadOptions
+	codeDraining          = api.CodeDraining
+	codeCanceled          = api.CodeCanceled
+	codeInternal          = api.CodeInternal
+	codeTooManyRequests   = api.CodeTooManyRequests
+	codeDeadlineExceeded  = api.CodeDeadlineExceeded
+	codeBodyTooLarge      = api.CodeBodyTooLarge
+	codeJobNotDone        = api.CodeJobNotDone
 )
 
-// errorEnvelope is the uniform error response body.
-type errorEnvelope struct {
-	Error errorDetail `json:"error"`
-}
+// errorDetail is the error half of the envelope (see api.ErrorDetail).
+type errorDetail = api.ErrorDetail
 
-type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Known lists the valid experiment ids on unknown_experiment.
-	Known []string `json:"known,omitempty"`
-}
+// errorEnvelope aliases the api envelope for the test suite.
+type errorEnvelope = api.Envelope
 
 func writeError(w http.ResponseWriter, status int, code, message string, known []string) {
-	writeJSON(w, status, errorEnvelope{Error: errorDetail{
-		Code:    code,
-		Message: message,
-		Known:   known,
-	}})
+	api.WriteError(w, status, code, message, known)
 }
 
 // writeComputeError maps a computation failure onto the envelope:
@@ -770,11 +867,7 @@ func (s *Server) refuseDraining(w http.ResponseWriter) bool {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is already out; nothing to recover
+	api.WriteJSON(w, code, v)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -796,16 +889,43 @@ type catalogEntry struct {
 	Kind  string `json:"kind"`
 }
 
-func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
-	descs := experiments.Registry()
-	entries := make([]catalogEntry, len(descs))
-	for i, d := range descs {
-		entries[i] = catalogEntry{ID: d.ID, Title: d.Title, Kind: d.Kind}
+// handleCatalog is GET /v1/experiments: the registry listing, windowed
+// by ?limit=/?offset=. The full registry size always rides along as
+// the X-Total-Count header (and the total field), so paging clients
+// know when to stop without a sentinel request.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "limit", "offset":
+		default:
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("unknown query parameter %q (valid: limit, offset)", k), nil)
+			return
+		}
 	}
+	if err := api.NoEmptyParams(q); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	page, err := api.ParsePage(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	descs := experiments.Registry()
+	lo, hi := page.Window(len(descs))
+	entries := make([]catalogEntry, 0, hi-lo)
+	for _, d := range descs[lo:hi] {
+		entries = append(entries, catalogEntry{ID: d.ID, Title: d.Title, Kind: d.Kind})
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(descs)))
 	writeJSON(w, http.StatusOK, struct {
+		Total       int            `json:"total"`
 		Count       int            `json:"count"`
+		Offset      int            `json:"offset"`
 		Experiments []catalogEntry `json:"experiments"`
-	}{len(entries), entries})
+	}{len(descs), len(entries), lo, entries})
 }
 
 // experimentResponse is the /v1/experiments/{id} body.
@@ -862,7 +982,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("engine", string(tier))
 	}
 	s.met.engineServed.With(string(tier)).Inc()
-	val, cached, coalesced, err := s.fetch(r.Context(), id, opts, tier)
+	val, cached, coalesced, err := s.fetch(r.Context(), id, opts, tier, false)
 	if err != nil {
 		s.writeComputeError(w, r, id, err)
 		return
@@ -897,7 +1017,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("engine", string(tier))
 	}
 	s.met.engineServed.With(string(tier)).Inc()
-	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts, tier)
+	val, cached, coalesced, err := s.fetch(r.Context(), reportID, opts, tier, false)
 	if err != nil {
 		s.writeComputeError(w, r, "report", err)
 		return
@@ -970,6 +1090,10 @@ func (s *Server) estimateCost(r *http.Request, endpoint string) float64 {
 		cost = admission.Cost(instr, 1)
 	case "/v1/report":
 		cost = admission.Cost(instr, len(experiments.Registry()))
+	case "/v1/jobs":
+		// Submitting a sweep costs a flat token; the sweep's items are
+		// charged one by one (blocking, not shedding) as they execute.
+		return 1
 	default:
 		return 0
 	}

@@ -29,7 +29,7 @@ import (
 func newTestServer(cfg Config) (*Server, *atomic.Int64) {
 	s := New(cfg)
 	var computations atomic.Int64
-	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		computations.Add(1)
 		c := opts.Canonical()
 		return map[string]any{"id": id, "instructions": c.Instructions}, nil
@@ -166,9 +166,9 @@ func TestCoalescing(t *testing.T) {
 	s, computations := newTestServer(Config{})
 	release := make(chan struct{})
 	inner := s.compute
-	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, _ bool) (any, error) {
 		<-release
-		return inner(ctx, id, opts, tier)
+		return inner(ctx, id, opts, tier, false)
 	}
 	key := cacheKey("fig2", machine.RunOptions{Instructions: 5000}, engine.TierExact)
 	s.computeStarted = func(k string) {
@@ -332,7 +332,7 @@ func TestClientDisconnectCancelsComputation(t *testing.T) {
 	s, _ := newTestServer(Config{})
 	started := make(chan struct{})
 	canceled := make(chan struct{})
-	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, _ bool) (any, error) {
 		close(started)
 		select {
 		case <-ctx.Done():
@@ -373,7 +373,7 @@ func TestClientDisconnectCancelsComputation(t *testing.T) {
 
 	// The aborted flight must not poison the key: the next request
 	// computes fresh and succeeds.
-	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		return map[string]any{"id": id}, nil
 	}
 	if code, body := get(t, ts, "/v1/experiments/table1?instructions=5000"); code != http.StatusOK {
@@ -421,9 +421,9 @@ func TestReportEndpoint(t *testing.T) {
 	s, computations := newTestServer(Config{})
 	var gotID string
 	inner := s.compute
-	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, _ bool) (any, error) {
 		gotID = id
-		return inner(ctx, id, opts, tier)
+		return inner(ctx, id, opts, tier, false)
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -484,7 +484,7 @@ func TestLRUEviction(t *testing.T) {
 func TestWorkerPoolBound(t *testing.T) {
 	s, _ := newTestServer(Config{Workers: 1})
 	var inflight, maxInflight atomic.Int64
-	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier) (any, error) {
+	s.compute = func(_ context.Context, id string, opts machine.RunOptions, _ engine.Tier, _ bool) (any, error) {
 		n := inflight.Add(1)
 		for {
 			m := maxInflight.Load()
@@ -525,10 +525,10 @@ func TestGracefulShutdown(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	inner := s.compute
-	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier) (any, error) {
+	s.compute = func(ctx context.Context, id string, opts machine.RunOptions, tier engine.Tier, _ bool) (any, error) {
 		close(started)
 		<-release
-		return inner(ctx, id, opts, tier)
+		return inner(ctx, id, opts, tier, false)
 	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/server/api"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +47,19 @@ type statusResponse struct {
 	Engine    engineStatus       `json:"engine"`
 	Trace     traceStatus        `json:"tracing"`
 	Admission admission.Snapshot `json:"admission"`
+	Jobs      *jobsStatus        `json:"jobs,omitempty"`
+}
+
+// jobsStatus reports the async-job subsystem: the state census plus
+// the background queue's share of the simulation pool.
+type jobsStatus struct {
+	jobs.Stats
+	Workers int `json:"workers"`
+	// QueueCap is the background queue's concurrency cap on the shared
+	// simulation pool (always below the pool's worker count, so sweeps
+	// cannot starve interactive traffic).
+	QueueCap int    `json:"queue_cap"`
+	Path     string `json:"path,omitempty"`
 }
 
 type storeStatus struct {
@@ -170,6 +185,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		ServedExact:    int64(s.met.engineServed.With(string(engine.TierExact)).Value()),
 		ServedAnalytic: int64(s.met.engineServed.With(string(engine.TierAnalytic)).Value()),
 	}
+	if s.jobs != nil {
+		resp.Jobs = &jobsStatus{
+			Stats:    s.jobs.Stats(),
+			Workers:  s.cfg.JobWorkers,
+			QueueCap: s.jobsQueue.Cap(),
+			Path:     s.cfg.JobsPath,
+		}
+	}
 	if t := s.cfg.Tracer; t != nil {
 		resp.Trace = traceStatus{
 			Enabled:  true,
@@ -203,6 +226,12 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("unknown query parameter %q (valid: min_ms, experiment, limit)", k), nil)
 			return
 		}
+	}
+	// ?experiment= (present but empty) would silently filter nothing;
+	// reject it like every other endpoint rejects empty parameters.
+	if err := api.NoEmptyParams(q); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
 	}
 	var f telemetry.Filter
 	if v := q.Get("min_ms"); v != "" {

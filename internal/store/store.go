@@ -342,31 +342,8 @@ func (s *Store) Save() error {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
 
-	dir := filepath.Dir(s.cfg.Path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := AtomicWriteFile(s.cfg.Path, data); err != nil {
 		return fmt.Errorf("store: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, ".spec17-store-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: writing snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: syncing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.cfg.Path); err != nil {
-		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
 	s.mu.Lock()
 	if gen > s.savedGen {
@@ -374,6 +351,42 @@ func (s *Store) Save() error {
 	}
 	s.mu.Unlock()
 	s.met.persisted.Add(float64(len(snap.Entries)))
+	return nil
+}
+
+// AtomicWriteFile publishes data at path with the store's snapshot
+// discipline: write to a temp file in the destination directory,
+// fsync, chmod, rename. A crash mid-write leaves any previous file at
+// path intact. Shared by the measurement snapshot and the job-state
+// snapshot (internal/jobs), so every durable artifact in the system
+// survives crashes the same way.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".spec17-atomic-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("publishing snapshot: %w", err)
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -234,5 +235,108 @@ func main() {
 		fatalf("rate-limited report: Retry-After %q does not parse: %v", ra, err)
 	}
 	fmt.Println("smoke: admission shed the over-budget request with 429 + Retry-After", ra)
+
+	// Async jobs: submit a one-item sweep with a webhook pointing at a
+	// local sink, watch it complete over SSE, fetch its results, and
+	// require the webhook delivery — the full push-delivery loop
+	// against the real daemon. Fresh API keys throughout: the earlier
+	// legs' buckets are spent by design.
+	sinkCh := make(chan []byte, 4)
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("webhook sink listen: %v", err)
+	}
+	sinkSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		payload, _ := io.ReadAll(r.Body)
+		sinkCh <- payload
+	})}
+	go sinkSrv.Serve(sinkLn)
+	defer sinkSrv.Close()
+
+	jobBody := strings.NewReader(fmt.Sprintf(
+		`{"experiments":["table1"],"instructions":2000,"engine":"analytic","webhook":"http://%s/hook"}`,
+		sinkLn.Addr().String()))
+	req, _ = http.NewRequest("POST", base+"/v1/jobs", jobBody)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", "smoke-jobs")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("job submit: %v", err)
+	}
+	rbody, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fatalf("job submit: status %d, want 202: %s", resp.StatusCode, rbody)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rbody, &job); err != nil || job.ID == "" {
+		fatalf("job submit: no job id in %s (err %v)", rbody, err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+job.ID {
+		fatalf("job submit: Location %q, want /v1/jobs/%s", loc, job.ID)
+	}
+	fmt.Println("smoke: POST /v1/jobs accepted job", job.ID)
+
+	// SSE until the terminal event.
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		fatalf("job events: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		fatalf("job events: status %d, Content-Type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	sawTerminal := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"state":"done"`) &&
+			strings.Contains(line, `"type":"state"`) {
+			sawTerminal = true
+			break
+		}
+	}
+	resp.Body.Close()
+	if !sawTerminal {
+		fatalf("job events: stream ended without a terminal done event")
+	}
+	fmt.Println("smoke: /v1/jobs/{id}/events streamed the sweep to completion")
+
+	// Results: one NDJSON ok line for table1.
+	req, _ = http.NewRequest("GET", base+"/v1/jobs/"+job.ID+"/results", nil)
+	req.Header.Set("X-API-Key", "smoke-job-results")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("job results: %v", err)
+	}
+	rbody, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("job results: status %d: %s", resp.StatusCode, rbody)
+	}
+	var line struct {
+		ID     string          `json:"id"`
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(rbody))), &line); err != nil {
+		fatalf("job results: parsing NDJSON line: %v\n%s", err, rbody)
+	}
+	if line.ID != "table1" || line.Status != "ok" || len(line.Result) == 0 {
+		fatalf("job results: id %q status %q (%d result bytes), want table1/ok", line.ID, line.Status, len(line.Result))
+	}
+	fmt.Println("smoke: /v1/jobs/{id}/results served the sweep's measurement")
+
+	// The webhook sink must have received the terminal notification.
+	select {
+	case payload := <-sinkCh:
+		if !strings.Contains(string(payload), `"job.done"`) || !strings.Contains(string(payload), job.ID) {
+			fatalf("webhook payload %s lacks job.done / job id", payload)
+		}
+	case <-time.After(10 * time.Second):
+		fatalf("webhook never delivered")
+	}
+	fmt.Println("smoke: webhook delivered the job.done notification")
 	fmt.Println("smoke: PASS")
 }
