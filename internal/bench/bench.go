@@ -21,11 +21,13 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -34,6 +36,16 @@ import (
 const (
 	ExactName    = "engine_exact_registry"
 	AnalyticName = "engine_analytic_registry"
+)
+
+// The hot-loop benchmark pair: the batched trace generator on its own,
+// and one exact-engine leaf (one machine × one workload at default
+// fidelity). Both run a fixed iteration budget rather than
+// testing.Benchmark's auto-scaling, so the bench gate's wall time
+// stays bounded no matter how fast the loop gets.
+const (
+	TraceFillName = "trace_fill"
+	ExactLeafName = "exact_leaf"
 )
 
 // Result is one benchmark's measurement.
@@ -120,21 +132,89 @@ func storeHit(b *testing.B) {
 	}
 }
 
-// Suite returns the snapshot suite in a stable order.
-func Suite() []struct {
-	Name string
-	Fn   func(b *testing.B)
-} {
-	return []struct {
-		Name string
-		Fn   func(b *testing.B)
-	}{
-		{"characterize_serial", characterize(1)},
-		{"characterize_parallel", characterize(0)},
-		{"store_hit", storeHit},
-		{ExactName, registrySweep(engine.Exact{})},
-		{AnalyticName, registrySweep(engine.Analytic{})},
+// traceFill measures the batched trace generator alone: one op fills
+// traceFillEvents events through FillBatch in simulation-kernel-sized
+// slabs, using a large-footprint registry profile so the block/data
+// models take their realistic paths.
+const traceFillEvents = 1 << 20
+
+func traceFill(n int) error {
+	profiles := workloads.All()
+	spec := profiles[0].Workload().Spec
+	gen, err := trace.NewGenerator(spec, "bench:trace_fill")
+	if err != nil {
+		return err
 	}
+	slab := make([]trace.Event, 512)
+	for op := 0; op < n; op++ {
+		for filled := 0; filled < traceFillEvents; filled += len(slab) {
+			gen.FillBatch(slab)
+		}
+	}
+	return nil
+}
+
+// exactLeaf measures one exact-engine leaf: a single machine × workload
+// measurement at default fidelity — the unit cost every sweep and
+// characterization fan-out multiplies.
+func exactLeaf(n int) error {
+	fleet, err := machine.Fleet()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	w := workloads.All()[0].Workload()
+	eng := engine.Exact{}
+	for op := 0; op < n; op++ {
+		if _, err := eng.Measure(ctx, fleet[0], w, machine.RunOptions{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entry is one suite benchmark: either auto-scaled through
+// testing.Benchmark (Fn), or run for exactly Iters iterations with
+// direct timing (FnN) — the fixed-budget path that keeps fast-moving
+// hot-loop benchmarks from inflating gate wall time as they speed up.
+type Entry struct {
+	Name  string
+	Fn    func(b *testing.B)
+	FnN   func(n int) error
+	Iters int
+}
+
+// Suite returns the snapshot suite in a stable order.
+func Suite() []Entry {
+	return []Entry{
+		{Name: "characterize_serial", Fn: characterize(1)},
+		{Name: "characterize_parallel", Fn: characterize(0)},
+		{Name: "store_hit", Fn: storeHit},
+		{Name: TraceFillName, FnN: traceFill, Iters: 8},
+		{Name: ExactLeafName, FnN: exactLeaf, Iters: 8},
+		{Name: ExactName, Fn: registrySweep(engine.Exact{})},
+		{Name: AnalyticName, Fn: registrySweep(engine.Analytic{})},
+	}
+}
+
+// run measures one entry through whichever path it declares.
+func (e Entry) run() (Result, error) {
+	if e.FnN != nil {
+		n := e.Iters
+		if n <= 0 {
+			n = 1
+		}
+		start := time.Now()
+		if err := e.FnN(n); err != nil {
+			return Result{}, fmt.Errorf("bench: %s: %w", e.Name, err)
+		}
+		return Result{NsPerOp: time.Since(start).Nanoseconds() / int64(n), Iterations: n}, nil
+	}
+	r := testing.Benchmark(e.Fn)
+	if r.N == 0 {
+		return Result{}, fmt.Errorf("bench: %s failed (zero iterations)", e.Name)
+	}
+	return Result{NsPerOp: r.NsPerOp(), Iterations: r.N}, nil
 }
 
 // Measure runs the whole suite and assembles a Snapshot. progress (may
@@ -151,11 +231,11 @@ func Measure(progress func(name string)) (*Snapshot, error) {
 		if progress != nil {
 			progress(bm.Name)
 		}
-		r := testing.Benchmark(bm.Fn)
-		if r.N == 0 {
-			return nil, fmt.Errorf("bench: %s failed (zero iterations)", bm.Name)
+		r, err := bm.run()
+		if err != nil {
+			return nil, err
 		}
-		snap.Benchmarks[bm.Name] = Result{NsPerOp: r.NsPerOp(), Iterations: r.N}
+		snap.Benchmarks[bm.Name] = r
 	}
 	exact, analytic := snap.Benchmarks[ExactName], snap.Benchmarks[AnalyticName]
 	if analytic.NsPerOp > 0 {
@@ -242,6 +322,12 @@ func Compare(committed, current *Snapshot, tolerance float64) []Regression {
 		cur, ok := current.Benchmarks[name]
 		if !ok {
 			regressions = append(regressions, Regression{Name: name, MissingInNew: true})
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			// A zero (or negative) baseline is corrupt snapshot data: no
+			// tolerance can be expressed against it, and dividing by it
+			// would yield ±Inf/NaN growth. Skip rather than gate on it.
 			continue
 		}
 		growth := float64(cur.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)

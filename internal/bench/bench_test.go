@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func snap(benchmarks map[string]Result) *Snapshot {
+	return &Snapshot{Schema: 1, Benchmarks: benchmarks}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name      string
+		committed map[string]Result
+		current   map[string]Result
+		tolerance float64
+		want      []Regression
+	}{
+		{
+			name:      "within tolerance",
+			committed: map[string]Result{"a": {NsPerOp: 100}},
+			current:   map[string]Result{"a": {NsPerOp: 120}},
+			tolerance: 0.30,
+			want:      nil,
+		},
+		{
+			name:      "regression past tolerance",
+			committed: map[string]Result{"a": {NsPerOp: 100}},
+			current:   map[string]Result{"a": {NsPerOp: 200}},
+			tolerance: 0.30,
+			want:      []Regression{{Name: "a", Old: 100, New: 200, Growth: 1.0}},
+		},
+		{
+			name:      "improvement never fails",
+			committed: map[string]Result{"a": {NsPerOp: 200}},
+			current:   map[string]Result{"a": {NsPerOp: 50}},
+			tolerance: 0.0,
+			want:      nil,
+		},
+		{
+			name:      "missing in current fails",
+			committed: map[string]Result{"a": {NsPerOp: 100}},
+			current:   map[string]Result{},
+			tolerance: 0.30,
+			want:      []Regression{{Name: "a", MissingInNew: true}},
+		},
+		{
+			name:      "new benchmark without baseline passes",
+			committed: map[string]Result{},
+			current:   map[string]Result{"b": {NsPerOp: 100}},
+			tolerance: 0.30,
+			want:      nil,
+		},
+		{
+			// The historical bug: a zero baseline divided straight into
+			// ±Inf growth. It must be skipped, not gated on.
+			name:      "zero baseline is skipped",
+			committed: map[string]Result{"a": {NsPerOp: 0}},
+			current:   map[string]Result{"a": {NsPerOp: 100}},
+			tolerance: 0.30,
+			want:      nil,
+		},
+		{
+			name:      "zero baseline skipped, sibling still gated",
+			committed: map[string]Result{"a": {NsPerOp: 0}, "b": {NsPerOp: 100}},
+			current:   map[string]Result{"a": {NsPerOp: 100}, "b": {NsPerOp: 150}},
+			tolerance: 0.30,
+			want:      []Regression{{Name: "b", Old: 100, New: 150, Growth: 0.5}},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(snap(tc.committed), snap(tc.current), tc.tolerance)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Compare returned %d regressions, want %d: %v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				g := got[i]
+				if math.IsInf(g.Growth, 0) || math.IsNaN(g.Growth) {
+					t.Fatalf("regression %d has non-finite growth %v", i, g.Growth)
+				}
+				if g.Name != w.Name || g.Old != w.Old || g.New != w.New ||
+					g.MissingInNew != w.MissingInNew || math.Abs(g.Growth-w.Growth) > 1e-12 {
+					t.Errorf("regression %d = %+v, want %+v", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteFixedBudget pins that the hot-loop pair declares a fixed
+// iteration budget: the bench gate's wall time must stay bounded as the
+// loop gets faster, which testing.Benchmark's auto-scaling would not.
+func TestSuiteFixedBudget(t *testing.T) {
+	fixed := map[string]bool{TraceFillName: false, ExactLeafName: false}
+	for _, e := range Suite() {
+		if _, ok := fixed[e.Name]; ok {
+			if e.FnN == nil || e.Iters <= 0 {
+				t.Errorf("%s must declare a fixed iteration budget (FnN + Iters)", e.Name)
+			}
+			fixed[e.Name] = true
+		}
+	}
+	for name, seen := range fixed {
+		if !seen {
+			t.Errorf("suite is missing %s", name)
+		}
+	}
+}
+
+// TestFixedBudgetEntriesRun exercises the fixed-budget path end to end
+// with one iteration each, so a broken FnN fails tests rather than the
+// first snapshot run.
+func TestFixedBudgetEntriesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real exact-engine leaf")
+	}
+	for _, e := range Suite() {
+		if e.FnN == nil {
+			continue
+		}
+		if err := e.FnN(1); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+}

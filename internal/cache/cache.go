@@ -42,15 +42,27 @@ func (c Config) Validate() error {
 // Sets returns the number of sets implied by the geometry.
 func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
 
+// invalidTag marks an empty way. Real tags are line addresses shifted
+// down by the set-index width, so a tag of all-ones would require an
+// address beyond 2^63 — unreachable in the generated address space.
+const invalidTag = ^uint64(0)
+
 // Cache is a single simulated cache level. Create with New.
+//
+// Each set is one contiguous block of `ways` tag words kept in
+// recency order (most recent first), with invalidTag in empty slots.
+// This fuses what were three parallel arrays (tags, valid bits, LRU
+// state) into a single cache-line-friendly block: one simulated
+// access touches one run of memory, which is what keeps the simulator
+// fast when the simulated geometry (an 8 MB L3's megabyte of tags) is
+// far bigger than the host's own caches.
 type Cache struct {
 	cfg       Config
 	sets      int
 	lineShift uint
+	setShift  uint
 	setMask   uint64
-	tags      []uint64 // sets × ways
-	valid     []bool
-	lru       []uint8 // per-line LRU age: 0 = most recent
+	lines     []uint64 // sets × ways, recency-ordered tags
 	accesses  uint64
 	misses    uint64
 }
@@ -68,17 +80,12 @@ func New(cfg Config) (*Cache, error) {
 		cfg:       cfg,
 		sets:      sets,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setShift:  uint(bits.TrailingZeros(uint(sets))),
 		setMask:   uint64(sets - 1),
-		tags:      make([]uint64, sets*cfg.Ways),
-		valid:     make([]bool, sets*cfg.Ways),
-		lru:       make([]uint8, sets*cfg.Ways),
+		lines:     make([]uint64, sets*cfg.Ways),
 	}
-	// Seed every set's ages with the permutation 0..ways-1. The touch
-	// rule below preserves the permutation invariant, giving exact LRU.
-	for s := 0; s < sets; s++ {
-		for w := 0; w < cfg.Ways; w++ {
-			c.lru[s*cfg.Ways+w] = uint8(w)
-		}
+	for i := range c.lines {
+		c.lines[i] = invalidTag
 	}
 	return c, nil
 }
@@ -88,51 +95,40 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Access simulates a reference to addr and reports whether it hit.
 // Misses allocate (write-allocate for stores, fetch for loads).
+//
+// The set is scanned in recency order, so a hit costs one probe in
+// the common MRU case, and re-ordering is a short in-block slide.
+// Which physical way a line occupies is unobservable; hit/miss
+// outcomes and eviction choices are exact LRU, identical to the
+// age-permutation implementation this replaced (empty slots sink to
+// the tail and are filled before any valid line is evicted).
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineShift
 	set := int(line & c.setMask)
-	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
-	base := set * c.cfg.Ways
+	tag := line >> c.setShift
+	ways := c.cfg.Ways
+	base := set * ways
 	c.accesses++
 
-	hitWay := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
-			hitWay = w
-			break
-		}
+	s := c.lines[base : base+ways : base+ways]
+	if s[0] == tag {
+		return true // MRU fast path: no re-ordering needed
 	}
-	if hitWay >= 0 {
-		c.touch(base, hitWay)
-		return true
+	for p := 1; p < ways; p++ {
+		if s[p] == tag {
+			// Promote to MRU: slide the more-recent entries down one.
+			copy(s[1:p+1], s[:p])
+			s[0] = tag
+			return true
+		}
 	}
 
 	c.misses++
-	// Victim: the oldest way. Ages are a permutation of 0..ways-1 per
-	// set (touch preserves the invariant), so the maximum is unique.
-	// Invalid ways are never touched, so they hold the oldest ages and
-	// are filled before any valid line is evicted.
-	victim, oldest := 0, c.lru[base]
-	for w := 1; w < c.cfg.Ways; w++ {
-		if c.lru[base+w] > oldest {
-			victim, oldest = w, c.lru[base+w]
-		}
-	}
-	c.tags[base+victim] = tag
-	c.valid[base+victim] = true
-	c.touch(base, victim)
+	// Fill at MRU, dropping the LRU tail (an empty slot while the set
+	// is still filling).
+	copy(s[1:], s[:ways-1])
+	s[0] = tag
 	return false
-}
-
-// touch makes way the most recently used entry in its set.
-func (c *Cache) touch(base, way int) {
-	cur := c.lru[base+way]
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.lru[base+w] < cur {
-			c.lru[base+w]++
-		}
-	}
-	c.lru[base+way] = 0
 }
 
 // Stats returns accesses and misses since creation or the last Reset.

@@ -26,6 +26,8 @@ type Event struct {
 	Done   int `json:"done"`
 	Failed int `json:"failed,omitempty"`
 	Total  int `json:"total"`
+	// ETASeconds estimates seconds to completion, as on Job.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
 }
 
 // Terminal reports whether this event ends the stream.
@@ -49,7 +51,7 @@ func (m *Manager) Subscribe(id string) (snap Event, ch <-chan Event, cancel func
 	if !okk {
 		return Event{}, nil, nil, false
 	}
-	snap = stateEventLocked(t)
+	snap = m.stateEventLocked(t)
 	c := make(chan Event, subCap(len(t.job.Items)))
 	if t.job.State.Terminal() {
 		close(c)
@@ -73,17 +75,18 @@ func (m *Manager) Subscribe(id string) (snap Event, ch <-chan Event, cancel func
 
 // stateEventLocked builds a job-level event from current state.
 // Caller holds m.mu.
-func stateEventLocked(t *tracked) Event {
+func (m *Manager) stateEventLocked(t *tracked) Event {
 	done, failed := t.job.Counts()
 	return Event{
-		Seq:    t.seq,
-		Type:   "state",
-		Job:    t.job.ID,
-		State:  t.job.State,
-		Error:  t.job.Error,
-		Done:   done,
-		Failed: failed,
-		Total:  len(t.job.Items),
+		Seq:        t.seq,
+		Type:       "state",
+		Job:        t.job.ID,
+		State:      t.job.State,
+		Error:      t.job.Error,
+		Done:       done,
+		Failed:     failed,
+		Total:      len(t.job.Items),
+		ETASeconds: m.etaLocked(t),
 	}
 }
 
@@ -97,7 +100,7 @@ func (m *Manager) emitState(id string) {
 		return
 	}
 	t.seq++
-	ev := stateEventLocked(t)
+	ev := m.stateEventLocked(t)
 	m.broadcastLocked(t, ev)
 	if ev.Terminal() {
 		for n, c := range t.subs {
@@ -131,6 +134,7 @@ func (m *Manager) emitItem(id string, idx int) {
 		Done:       done,
 		Failed:     failed,
 		Total:      len(t.job.Items),
+		ETASeconds: m.etaLocked(t),
 	}
 	m.broadcastLocked(t, ev)
 	m.mu.Unlock()

@@ -30,6 +30,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,11 @@ type Job struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Items    []Item     `json:"items"`
+	// ETASeconds estimates the time to completion for a non-terminal
+	// job: observed mean item time once items have finished, the
+	// configured cost-model prior before that. Computed at read time,
+	// never persisted meaningfully; 0 means no estimate.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
 	// Resumed marks a job that survived at least one restart.
 	Resumed bool `json:"resumed,omitempty"`
 	// WebhookDelivered and WebhookAttempts track push delivery.
@@ -155,6 +161,50 @@ func (j *Job) clone() Job {
 	return c
 }
 
+// viewLocked is the externally served form of a job: a clone with the
+// read-time ETA filled in. Caller holds m.mu.
+func (m *Manager) viewLocked(t *tracked) Job {
+	j := t.job.clone()
+	j.ETASeconds = m.etaLocked(t)
+	return j
+}
+
+// etaLocked estimates a non-terminal job's seconds to completion:
+// per-item time (observed mean over finished items when there are
+// any, the cost-model prior otherwise) times the remaining item
+// waves at the job's concurrency. Caller holds m.mu.
+func (m *Manager) etaLocked(t *tracked) float64 {
+	if t.job.State.Terminal() {
+		return 0
+	}
+	finished := 0
+	var sumMS int64
+	for _, it := range t.job.Items {
+		if it.Status == ItemDone || it.Status == ItemError {
+			finished++
+			sumMS += it.ElapsedMS
+		}
+	}
+	remaining := len(t.job.Items) - finished
+	if remaining == 0 {
+		return 0
+	}
+	var per float64
+	if finished > 0 {
+		per = float64(sumMS) / float64(finished) / 1000
+	} else if m.cfg.EstimateItemSeconds != nil {
+		per = m.cfg.EstimateItemSeconds(t.job.Spec)
+	}
+	if per <= 0 {
+		return 0
+	}
+	conc := t.job.Spec.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	return per * math.Ceil(float64(remaining)/float64(conc))
+}
+
 // Runner executes one item of one job: measure item (an experiment
 // id) under the job's spec and park the result wherever results live.
 // The context is the job run's; it is canceled on job cancellation and
@@ -179,6 +229,11 @@ type Config struct {
 	// callback invoked with the job's final state. The server uses it
 	// to put a job-root span tree around the whole sweep.
 	OnJobStart func(ctx context.Context, j Job) (context.Context, func(final State))
+	// EstimateItemSeconds, when set, predicts one item's execution time
+	// in seconds from the sweep spec — the ETA prior used until real
+	// item completions provide an observed rate. The server derives it
+	// from the admission cost model. Nil disables model-based ETAs.
+	EstimateItemSeconds func(spec Spec) float64
 	// Webhook configures push delivery of terminal states.
 	Webhook WebhookConfig
 	// Metrics receives the spec17d_jobs_* instruments. Nil uses a
@@ -367,12 +422,13 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		m.mu.Unlock()
 		return Job{}, ErrTooManyJobs
 	}
-	m.jobs[j.ID] = &tracked{job: j, subs: make(map[int]chan Event)}
+	t := &tracked{job: j, subs: make(map[int]chan Event)}
+	m.jobs[j.ID] = t
 	m.order = append(m.order, j.ID)
 	// Clone before releasing the lock: the tracked record shares the
 	// local j's Items array, and a worker may start mutating it the
 	// moment the job is enqueued.
-	out := j.clone()
+	out := m.viewLocked(t)
 	m.mu.Unlock()
 
 	m.met.submitted.Inc()
@@ -413,7 +469,7 @@ func (m *Manager) Get(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return t.job.clone(), true
+	return m.viewLocked(t), true
 }
 
 // List returns copies of every retained job, newest first.
@@ -422,7 +478,7 @@ func (m *Manager) List() []Job {
 	defer m.mu.Unlock()
 	out := make([]Job, 0, len(m.order))
 	for i := len(m.order) - 1; i >= 0; i-- {
-		out = append(out, m.jobs[m.order[i]].job.clone())
+		out = append(out, m.viewLocked(m.jobs[m.order[i]]))
 	}
 	return out
 }

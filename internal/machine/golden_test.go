@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The committed golden fixture pins the exact engine's RawCounts
+// bit-for-bit: any change to the trace generator, the simulators, or
+// the shared counting kernel that perturbs results fails here
+// directly, instead of only through the store goldens downstream.
+// Regenerate deliberately with:
+//
+//	go test ./internal/machine -run TestGoldenCounts -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_counts.json from current code")
+
+const goldenPath = "testdata/golden_counts.json"
+
+// goldenCase is one pinned (machine × workload × options) leaf.
+// Copies > 0 pins a multi-copy (SPECrate) run instead of a single run.
+type goldenCase struct {
+	Machine  string       `json:"machine"`
+	Workload Workload     `json:"workload"`
+	Opts     RunOptions   `json:"opts"`
+	Copies   int          `json:"copies,omitempty"`
+	Counts   *RawCounts   `json:"counts,omitempty"`
+	Multi    *MultiCounts `json:"multi,omitempty"`
+}
+
+// goldenInputs spans the generator and kernel code paths: kernel
+// episodes, striding streams, correlated branch patterns, machines
+// with and without an L3, both ISAs, and the shared-L3 multicopy
+// interleaving.
+func goldenInputs() []goldenCase {
+	general := Workload{
+		Key: "golden-general",
+		Spec: trace.Spec{
+			LoadFrac: 0.26, StoreFrac: 0.11, BranchFrac: 0.14,
+			FPFrac: 0.08, SIMDFrac: 0.03, KernelFrac: 0.06,
+			HotBytes: 24 << 10, MidBytes: 192 << 10, WarmBytes: 2 << 20, FootprintBytes: 96 << 20,
+			HotFrac: 0.45, MidFrac: 0.08, WarmFrac: 0.22, StrideFrac: 0.12,
+			CodeBytes: 256 << 10, HotCodeBytes: 24 << 10, HotCodeFrac: 0.85,
+			BranchEntropy: 0.12, PatternFrac: 0.25, TakenFrac: 0.58,
+		},
+		ILP: 2.2,
+	}
+	branchy := Workload{
+		Key: "golden-branchy",
+		Spec: trace.Spec{
+			LoadFrac: 0.18, StoreFrac: 0.06, BranchFrac: 0.22,
+			FPFrac: 0.01, SIMDFrac: 0.0,
+			HotBytes: 8 << 10, MidBytes: 64 << 10, WarmBytes: 512 << 10, FootprintBytes: 8 << 20,
+			HotFrac: 0.6, MidFrac: 0.1, WarmFrac: 0.2, StrideFrac: 0.0,
+			CodeBytes: 512 << 10, HotCodeBytes: 64 << 10, HotCodeFrac: 0.7,
+			BranchEntropy: 0.3, PatternFrac: 0.4, TakenFrac: 0.55,
+		},
+		ILP: 1.8,
+	}
+	opts := RunOptions{Instructions: 50_000, WarmupInstructions: 10_000}
+	return []goldenCase{
+		{Machine: Skylake, Workload: general, Opts: opts},
+		{Machine: Harpertown, Workload: general, Opts: opts},
+		{Machine: SparcT4, Workload: branchy, Opts: opts},
+		{Machine: Broadwell, Workload: branchy, Opts: opts},
+		{Machine: Skylake, Workload: general, Opts: opts, Copies: 2},
+		{Machine: Harpertown, Workload: branchy, Opts: opts, Copies: 3},
+	}
+}
+
+func fleetByName(t *testing.T) map[string]*Machine {
+	t.Helper()
+	fleet, err := Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*Machine, len(fleet))
+	for _, m := range fleet {
+		out[m.Name()] = m
+	}
+	return out
+}
+
+func TestGoldenCounts(t *testing.T) {
+	machines := fleetByName(t)
+	cases := goldenInputs()
+	for i := range cases {
+		c := &cases[i]
+		m, ok := machines[c.Machine]
+		if !ok {
+			t.Fatalf("unknown golden machine %q", c.Machine)
+		}
+		if c.Copies > 0 {
+			mc, err := m.RunMulti(c.Workload, c.Copies, c.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Multi = mc
+		} else {
+			rc, err := m.Run(c.Workload, c.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Counts = rc
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", goldenPath, len(cases))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to create): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("fixture has %d cases, code defines %d (regenerate with -update)", len(want), len(cases))
+	}
+	for i, w := range want {
+		got := cases[i]
+		name := got.Machine + "/" + got.Workload.Key
+		if got.Copies > 0 {
+			if w.Multi == nil || got.Multi == nil {
+				t.Fatalf("%s: missing multicopy counts", name)
+			}
+			if got.Multi.Copies != w.Multi.Copies || got.Multi.Throughput != w.Multi.Throughput {
+				t.Errorf("%s (x%d): throughput %v copies %d, want %v copies %d",
+					name, got.Copies, got.Multi.Throughput, got.Multi.Copies,
+					w.Multi.Throughput, w.Multi.Copies)
+			}
+			for ci := range w.Multi.PerCopy {
+				if *got.Multi.PerCopy[ci] != *w.Multi.PerCopy[ci] {
+					t.Errorf("%s copy %d differs from golden:\n got %+v\nwant %+v",
+						name, ci, *got.Multi.PerCopy[ci], *w.Multi.PerCopy[ci])
+				}
+			}
+			continue
+		}
+		if w.Counts == nil || got.Counts == nil {
+			t.Fatalf("%s: missing counts", name)
+		}
+		// Struct equality: bit-identical, not approximately equal.
+		if *got.Counts != *w.Counts {
+			t.Errorf("%s differs from golden:\n got %+v\nwant %+v", name, *got.Counts, *w.Counts)
+		}
+	}
+}

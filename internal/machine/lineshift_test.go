@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// TestLineShiftFollowsL1IGeometry pins the fetch-buffer model to the
+// configured L1I line size. The instruction-line shift used to be
+// hardcoded to 6 (64-byte lines) in both run loops, so a machine with
+// 128-byte instruction lines silently double-counted fetches; this
+// test fails against that hardcoding.
+func TestLineShiftFollowsL1IGeometry(t *testing.T) {
+	cfg := SkylakeConfig()
+	cfg.Name = "skylake-128B"
+	cfg.Caches.L1I = cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 128}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorkload()
+	opts := quickOpts()
+	rc, err := m.Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent replay: one L1I access per 128-byte-line transition,
+	// with the last-line state carried across the warmup boundary
+	// exactly as the kernel carries it.
+	gen, err := trace.NewGenerator(m.adjustSpec(w), w.Key+"@"+cfg.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shift = 7 // log2(128)
+	last := ^uint64(0)
+	var ev trace.Event
+	for i := 0; i < opts.WarmupInstructions; i++ {
+		gen.Next(&ev)
+		if line := ev.PC >> shift; line != last {
+			last = line
+		}
+	}
+	var want uint64
+	for i := 0; i < opts.Instructions; i++ {
+		gen.Next(&ev)
+		if line := ev.PC >> shift; line != last {
+			last = line
+			want++
+		}
+	}
+
+	if rc.Cache.L1IAccesses != want {
+		t.Fatalf("L1I accesses = %d, want %d (one per 128B line transition); the fetch model is not using the configured line size",
+			rc.Cache.L1IAccesses, want)
+	}
+}

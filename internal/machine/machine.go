@@ -235,137 +235,15 @@ func (m *Machine) Run(w Workload, opts RunOptions) (*RawCounts, error) {
 	}
 
 	rc := &RawCounts{}
-	var (
-		ev        trace.Event
-		lastILine uint64 = ^uint64(0)
-		lastIPage uint64 = ^uint64(0)
-		// Split instruction-side miss routing for the CPI stack.
-		l1iToL2, l2iToL3, l2iToMem, l3iToMem uint64
-		l1dToL2, l2dToL3, l3dToMem, l2dToMem uint64
-	)
-	lineShift := uint(6)
-	run := func(n int, measure bool) {
-		for i := 0; i < n; i++ {
-			gen.Next(&ev)
-			if measure {
-				rc.Instructions++
-				if ev.Kernel {
-					rc.KernelInstrs++
-				}
-			}
-
-			// Instruction side: fetch once per line transition; the
-			// same-line fast path models the fetch buffer.
-			iline := ev.PC >> lineShift
-			if iline != lastILine {
-				lastILine = iline
-				lvl := caches.FetchInstr(ev.PC)
-				if measure {
-					switch lvl {
-					case 1:
-						l1iToL2++
-					case 2:
-						l1iToL2++
-						l2iToL3++
-					case 3:
-						l1iToL2++
-						if caches.L3 != nil {
-							l2iToL3++
-							l3iToMem++
-						} else {
-							l2iToMem++
-						}
-					}
-				}
-			}
-			ipage := ev.PC >> tlb.PageShift
-			if ipage != lastIPage {
-				lastIPage = ipage
-				tlbs.TranslateInstr(ev.PC)
-			}
-
-			switch ev.Kind {
-			case trace.Load, trace.Store:
-				if measure {
-					if ev.Kind == trace.Load {
-						rc.Loads++
-					} else {
-						rc.Stores++
-					}
-				}
-				lvl := caches.AccessData(ev.Addr)
-				if measure {
-					switch lvl {
-					case 1:
-						l1dToL2++
-					case 2:
-						l1dToL2++
-						l2dToL3++
-					case 3:
-						l1dToL2++
-						if caches.L3 != nil {
-							l2dToL3++
-							l3dToMem++
-						} else {
-							l2dToMem++
-						}
-					}
-				}
-				tlbs.TranslateData(ev.Addr)
-			case trace.CondBranch:
-				if measure {
-					rc.Branches++
-					if ev.Taken {
-						rc.TakenBranches++
-					}
-				}
-				pred.Predict(ev.PC, ev.Taken)
-			case trace.FPOp:
-				if measure {
-					rc.FPOps++
-				}
-			case trace.SIMDOp:
-				if measure {
-					rc.SIMDOps++
-				}
-			}
-		}
-	}
+	st := newSimStream(gen, caches, tlbs, pred, rc, 0)
 
 	prime(caches, tlbs, spec)
-	run(opts.WarmupInstructions, false)
-	caches.ResetStats()
-	tlbs.ResetStats()
-	pred.ResetStats()
-	run(opts.Instructions, true)
-
-	rc.Cache = caches.Counts()
-	rc.TLB = tlbs.Counts()
-	pc := pred.Counts()
-	rc.Mispredicts = pc.Mispredicts
-
-	ideal := 1 / float64(m.cfg.IssueWidth)
-	base := 1 / w.ILP
-	stack, err := cpistack.Compute(cpistack.Inputs{
-		Instructions: rc.Instructions,
-		BaseCPI:      base,
-		IdealCPI:     ideal,
-		Mispredicts:  rc.Mispredicts,
-		L1IMissToL2:  l1iToL2,
-		L2IMissToL3:  l2iToL3,
-		L2IMissToMem: l2iToMem,
-		L3IMissToMem: l3iToMem,
-		L1DMissToL2:  l1dToL2,
-		L2DMissToL3:  l2dToL3,
-		L3DMissToMem: l3dToMem + l2dToMem,
-		PageWalks:    rc.TLB.PageWalks,
-	}, m.cfg.Penalties)
-	if err != nil {
+	st.warmup(opts.WarmupInstructions)
+	st.resetStats()
+	st.measure(opts.Instructions)
+	if err := st.finalize(m.cfg.IssueWidth, w.ILP, m.cfg.Penalties); err != nil {
 		return nil, err
 	}
-	rc.Stack = stack
-	rc.CPI = stack.Total()
-	rc.Cycles = uint64(rc.CPI * float64(rc.Instructions))
 
 	if m.cfg.HasRAPL {
 		bd, err := m.cfg.Power.Estimate(power.Activity{
@@ -374,7 +252,7 @@ func (m *Machine) Run(w Workload, opts RunOptions) (*RawCounts, error) {
 			FPOps:        rc.FPOps,
 			SIMDOps:      rc.SIMDOps,
 			LLCAccesses:  rc.Cache.L2IAccesses + rc.Cache.L2DAccesses + rc.Cache.L3Accesses,
-			MemAccesses:  rc.Cache.L3Misses + l2dToMem + l2iToMem,
+			MemAccesses:  rc.Cache.L3Misses + st.l2dToMem + st.l2iToMem,
 		})
 		if err != nil {
 			return nil, err

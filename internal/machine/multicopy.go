@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/cache"
-	"repro/internal/cpistack"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 )
@@ -63,20 +62,9 @@ func (m *Machine) RunMulti(w Workload, copies int, opts RunOptions) (*MultiCount
 		}
 	}
 
-	type copyState struct {
-		gen    *trace.Generator
-		caches *cache.Hierarchy
-		tlbs   *tlb.Hierarchy
-		pred   *branch.Predictor
-		rc     RawCounts
-		offset uint64
-
-		lastILine, lastIPage                 uint64
-		l1iToL2, l2iToL3, l2iToMem, l3iToMem uint64
-		l1dToL2, l2dToL3, l3dToMem, l2dToMem uint64
-	}
-	states := make([]*copyState, copies)
-	for i := range states {
+	counts := make([]RawCounts, copies)
+	streams := make([]*simStream, copies)
+	for i := range streams {
 		gen, err := trace.NewGenerator(spec, fmt.Sprintf("%s#copy%d@%s", w.Key, i, m.cfg.Name))
 		if err != nil {
 			return nil, err
@@ -96,146 +84,27 @@ func (m *Machine) RunMulti(w Workload, copies int, opts RunOptions) (*MultiCount
 		if err != nil {
 			return nil, err
 		}
-		states[i] = &copyState{
-			gen: gen, caches: caches, tlbs: tlbs, pred: pred,
-			offset:    uint64(i) * copyStride,
-			lastILine: ^uint64(0), lastIPage: ^uint64(0),
-		}
-		primeOffset(caches, tlbs, spec, states[i].offset)
+		streams[i] = newSimStream(gen, caches, tlbs, pred, &counts[i], uint64(i)*copyStride)
+		primeOffset(caches, tlbs, spec, streams[i].offset)
 	}
 
-	const lineShift = 6
-	step := func(st *copyState, measure bool) {
-		var ev trace.Event
-		st.gen.Next(&ev)
-		if measure {
-			st.rc.Instructions++
-			if ev.Kernel {
-				st.rc.KernelInstrs++
-			}
-		}
-		iline := ev.PC >> lineShift
-		if iline != st.lastILine {
-			st.lastILine = iline
-			lvl := st.caches.FetchInstr(ev.PC)
-			if measure {
-				switch lvl {
-				case 1:
-					st.l1iToL2++
-				case 2:
-					st.l1iToL2++
-					st.l2iToL3++
-				case 3:
-					st.l1iToL2++
-					if sharedL3 != nil {
-						st.l2iToL3++
-						st.l3iToMem++
-					} else {
-						st.l2iToMem++
-					}
-				}
-			}
-		}
-		if ipage := ev.PC >> tlb.PageShift; ipage != st.lastIPage {
-			st.lastIPage = ipage
-			st.tlbs.TranslateInstr(ev.PC)
-		}
-		switch ev.Kind {
-		case trace.Load, trace.Store:
-			if measure {
-				if ev.Kind == trace.Load {
-					st.rc.Loads++
-				} else {
-					st.rc.Stores++
-				}
-			}
-			lvl := st.caches.AccessData(ev.Addr + st.offset)
-			if measure {
-				switch lvl {
-				case 1:
-					st.l1dToL2++
-				case 2:
-					st.l1dToL2++
-					st.l2dToL3++
-				case 3:
-					st.l1dToL2++
-					if sharedL3 != nil {
-						st.l2dToL3++
-						st.l3dToMem++
-					} else {
-						st.l2dToMem++
-					}
-				}
-			}
-			st.tlbs.TranslateData(ev.Addr + st.offset)
-		case trace.CondBranch:
-			if measure {
-				st.rc.Branches++
-				if ev.Taken {
-					st.rc.TakenBranches++
-				}
-			}
-			st.pred.Predict(ev.PC, ev.Taken)
-		case trace.FPOp:
-			if measure {
-				st.rc.FPOps++
-			}
-		case trace.SIMDOp:
-			if measure {
-				st.rc.SIMDOps++
-			}
-		}
+	// Round-robin interleaving through the shared kernel: warmup, then
+	// measurement.
+	runInterleaved(streams, opts.WarmupInstructions, false)
+	for _, st := range streams {
+		st.resetStats()
 	}
-
-	// Round-robin interleaving: warmup, then measurement.
-	for i := 0; i < opts.WarmupInstructions; i++ {
-		for _, st := range states {
-			step(st, false)
-		}
+	if sharedL3 != nil {
+		sharedL3.ResetStats()
 	}
-	for _, st := range states {
-		st.caches.ResetStats()
-		st.tlbs.ResetStats()
-		st.pred.ResetStats()
-		if sharedL3 != nil {
-			sharedL3.ResetStats()
-		}
-	}
-	for i := 0; i < opts.Instructions; i++ {
-		for _, st := range states {
-			step(st, true)
-		}
-	}
+	runInterleaved(streams, opts.Instructions, true)
 
 	out := &MultiCounts{Copies: copies}
-	ideal := 1 / float64(m.cfg.IssueWidth)
-	base := 1 / w.ILP
-	for _, st := range states {
-		st.rc.Cache = st.caches.Counts()
-		st.rc.TLB = st.tlbs.Counts()
-		st.rc.Mispredicts = st.pred.Counts().Mispredicts
-
-		stack, err := cpistack.Compute(cpistack.Inputs{
-			Instructions: st.rc.Instructions,
-			BaseCPI:      base,
-			IdealCPI:     ideal,
-			Mispredicts:  st.rc.Mispredicts,
-			L1IMissToL2:  st.l1iToL2,
-			L2IMissToL3:  st.l2iToL3,
-			L2IMissToMem: st.l2iToMem,
-			L3IMissToMem: st.l3iToMem,
-			L1DMissToL2:  st.l1dToL2,
-			L2DMissToL3:  st.l2dToL3,
-			L3DMissToMem: st.l3dToMem + st.l2dToMem,
-			PageWalks:    st.rc.TLB.PageWalks,
-		}, m.cfg.Penalties)
-		if err != nil {
+	for _, st := range streams {
+		if err := st.finalize(m.cfg.IssueWidth, w.ILP, m.cfg.Penalties); err != nil {
 			return nil, err
 		}
-		st.rc.Stack = stack
-		st.rc.CPI = stack.Total()
-		st.rc.Cycles = uint64(st.rc.CPI * float64(st.rc.Instructions))
-		out.PerCopy = append(out.PerCopy, &st.rc)
+		out.PerCopy = append(out.PerCopy, st.rc)
 		out.Throughput += 1 / st.rc.CPI
 	}
 	return out, nil

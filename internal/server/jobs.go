@@ -33,6 +33,32 @@ const maxJobBodyBytes = 1 << 20
 // keeping idle streams alive through proxies between real events.
 const sseKeepalive = 15 * time.Second
 
+// exactSecondsPerCostToken converts admission cost tokens (one token =
+// one default-fidelity measurement, admission.DefaultCostInstructions)
+// into wall seconds for job ETAs: the exact_leaf entry of the
+// committed BENCH_<n>.json snapshot, rounded up. Only an ETA prior —
+// observed item times take over after the first completion.
+const exactSecondsPerCostToken = 0.1
+
+// estimateItemSeconds predicts one sweep item's execution time from
+// the admission cost model: cost tokens for the item's fidelity,
+// discounted like the admission charge when the analytic tier will
+// serve it, scaled to seconds. It deliberately mirrors runJobItem's
+// charging logic so the ETA and the budget drain at the same rate.
+func (s *Server) estimateItemSeconds(spec jobs.Spec) float64 {
+	cost := admission.Cost(spec.Instructions, 1)
+	reqTier := s.cfg.DefaultEngine
+	if spec.Engine != "" {
+		if t, err := engine.ParseTier(spec.Engine); err == nil {
+			reqTier = t
+		}
+	}
+	if reqTier != engine.TierExact {
+		cost /= analyticCostDivisor
+	}
+	return cost * exactSecondsPerCostToken
+}
+
 // newJobManager builds the jobs manager wired to this server: items
 // run through runJobItem (test-overridable via s.jobsRunner), each
 // job gets a root job.run trace spanning the whole sweep, and job
@@ -57,6 +83,7 @@ func (s *Server) newJobManager() {
 				}
 			}
 		},
+		EstimateItemSeconds: s.estimateItemSeconds,
 		Webhook: jobs.WebhookConfig{
 			Timeout:  s.cfg.WebhookTimeout,
 			Disabled: s.cfg.WebhookTimeout < 0,

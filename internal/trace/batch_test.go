@@ -1,0 +1,92 @@
+package trace
+
+import "testing"
+
+// kernelSpec exercises the kernel-episode paths FillBatch must
+// reproduce (entry draws, kernel blocks, kernel data addresses).
+func kernelSpec() Spec {
+	s := testSpec()
+	s.KernelFrac = 0.15
+	return s
+}
+
+// TestFillBatchMatchesNext pins the arena API's contract: a trace read
+// through FillBatch — at any batch size, including sizes that do not
+// divide the stream length — is bit-identical to one read through
+// repeated Next calls, event for event.
+func TestFillBatchMatchesNext(t *testing.T) {
+	const total = 100_000
+	specs := map[string]Spec{"user": testSpec(), "kernel": kernelSpec()}
+	// 1 (degenerate), 7 and 313 (non-divisors of total), 4096 (the
+	// slab-scale case; also a non-divisor).
+	batchSizes := []int{1, 7, 313, 4096}
+
+	for name, spec := range specs {
+		ref, err := NewGenerator(spec, "batch-identity")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]Event, total)
+		for i := range want {
+			ref.Next(&want[i])
+		}
+
+		for _, bs := range batchSizes {
+			gen, err := NewGenerator(spec, "batch-identity")
+			if err != nil {
+				t.Fatal(err)
+			}
+			slab := make([]Event, bs)
+			for filled := 0; filled < total; {
+				k := min(bs, total-filled)
+				gen.FillBatch(slab[:k])
+				for i := 0; i < k; i++ {
+					if slab[i] != want[filled+i] {
+						t.Fatalf("%s spec, batch size %d: event %d = %+v, want %+v",
+							name, bs, filled+i, slab[i], want[filled+i])
+					}
+				}
+				filled += k
+			}
+		}
+	}
+}
+
+// TestFillBatchInterleavesWithNext pins that switching between the two
+// read APIs mid-stream does not disturb the sequence.
+func TestFillBatchInterleavesWithNext(t *testing.T) {
+	const total = 20_000
+	spec := kernelSpec()
+
+	ref, err := NewGenerator(spec, "interleave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Event, total)
+	for i := range want {
+		ref.Next(&want[i])
+	}
+
+	gen, err := NewGenerator(spec, "interleave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Event, 0, total)
+	var ev Event
+	for len(got) < total {
+		// Alternate: a few Next calls, then a batch.
+		for i := 0; i < 3 && len(got) < total; i++ {
+			gen.Next(&ev)
+			got = append(got, ev)
+		}
+		k := min(257, total-len(got))
+		batch := make([]Event, k)
+		gen.FillBatch(batch)
+		got = append(got, batch...)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

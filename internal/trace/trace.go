@@ -213,6 +213,20 @@ type Generator struct {
 	streams    []uint64
 	streamSpan uint64
 
+	// Instruction-mix thresholds, derived once from the spec so the
+	// per-event hot path never re-divides. Each is computed with the
+	// exact float expression the per-event code historically used, so
+	// comparisons against them are bit-identical to recomputing.
+	pLoad      float64 // LoadFrac / (1 - BranchFrac)
+	pLoadStore float64 // (LoadFrac + StoreFrac) / (1 - BranchFrac), as pLoad + pStore
+	pALU       float64 // 1 - pLoad - pStore
+	pSIMD      float64 // SIMDFrac / (1 - BranchFrac)
+	pSIMDFP    float64 // (SIMDFrac + FPFrac) / (1 - BranchFrac)
+	pEnterKern float64 // per-block kernel-episode entry probability
+	dHotT      float64 // StrideFrac + HotFrac
+	dMidT      float64 // StrideFrac + HotFrac + MidFrac
+	dWarmT     float64 // StrideFrac + HotFrac + MidFrac + WarmFrac
+
 	// Per-instruction state.
 	curBlock   int
 	curHot     int
@@ -288,6 +302,29 @@ func NewGenerator(spec Spec, key string) (*Generator, error) {
 	for i := range g.streams {
 		g.streams[i] = uint64(i) * g.streamSpan
 	}
+
+	// Hot-path thresholds. The expressions (including association
+	// order) mirror the historical per-event computations exactly:
+	// FillBatch and Next must stay bit-identical to the code that
+	// derived these inline.
+	nonBranch := 1 - spec.BranchFrac
+	g.pLoad = spec.LoadFrac / nonBranch
+	ps := spec.StoreFrac / nonBranch
+	g.pLoadStore = g.pLoad + ps
+	g.pALU = 1 - g.pLoad - ps
+	g.pSIMD = spec.SIMDFrac / nonBranch
+	g.pSIMDFP = (spec.SIMDFrac + spec.FPFrac) / nonBranch
+	if spec.KernelFrac > 0 {
+		enter := spec.KernelFrac / (float64(kernelBurst) * (1 - spec.KernelFrac))
+		if enter > 1 {
+			enter = 1
+		}
+		g.pEnterKern = enter
+	}
+	g.dHotT = spec.StrideFrac + spec.HotFrac
+	g.dMidT = spec.StrideFrac + spec.HotFrac + spec.MidFrac
+	g.dWarmT = spec.StrideFrac + spec.HotFrac + spec.MidFrac + spec.WarmFrac
+
 	g.curBlock = g.pickBlock()
 	return g, nil
 }
@@ -383,10 +420,11 @@ func (g *Generator) pickBlock() int {
 	return g.rBlock.Intn(g.nBlocks)
 }
 
+// kernelBurst is the number of blocks per kernel episode.
+const kernelBurst = 8
+
 // Next fills ev with the next dynamic instruction.
 func (g *Generator) Next(ev *Event) {
-	spec := &g.spec
-
 	// Kernel episodes: enter with probability such that the long-run
 	// kernel fraction matches KernelFrac; each episode runs a burst of
 	// blocks, modelling syscall service routines.
@@ -396,15 +434,10 @@ func (g *Generator) Next(ev *Event) {
 			if g.kernBudget <= 0 {
 				g.inKernel = false
 			}
-		} else if spec.KernelFrac > 0 {
-			const burst = 8 // blocks per kernel episode
-			enter := spec.KernelFrac / (float64(burst) * (1 - spec.KernelFrac))
-			if enter > 1 {
-				enter = 1
-			}
-			if g.rKernel.Bool(enter) {
+		} else if g.spec.KernelFrac > 0 {
+			if g.rKernel.Bool(g.pEnterKern) {
 				g.inKernel = true
-				g.kernBudget = burst
+				g.kernBudget = kernelBurst
 			}
 		}
 		g.curBlock = g.pickBlock()
@@ -436,35 +469,130 @@ func (g *Generator) Next(ev *Event) {
 	g.blockPos++
 
 	// Non-branch slot: loads, stores, and ALU ops in their renormalized
-	// proportions.
-	nonBranch := 1 - spec.BranchFrac
-	pl := spec.LoadFrac / nonBranch
-	ps := spec.StoreFrac / nonBranch
+	// proportions (thresholds precomputed at construction).
 	x := g.rMix.Float64()
 	switch {
-	case x < pl:
+	case x < g.pLoad:
 		ev.Kind = Load
 		ev.Addr = g.dataAddr()
-	case x < pl+ps:
+	case x < g.pLoadStore:
 		ev.Kind = Store
 		ev.Addr = g.dataAddr()
 	default:
 		// ALU flavour by FP/SIMD fractions renormalized over ALU slots.
-		alu := 1 - pl - ps
-		if alu <= 0 {
+		if g.pALU <= 0 {
 			ev.Kind = IntOp
 			return
 		}
-		y := g.rMix.Float64() * alu
+		y := g.rMix.Float64() * g.pALU
 		switch {
-		case y < spec.SIMDFrac/nonBranch:
+		case y < g.pSIMD:
 			ev.Kind = SIMDOp
-		case y < (spec.SIMDFrac+spec.FPFrac)/nonBranch:
+		case y < g.pSIMDFP:
 			ev.Kind = FPOp
 		default:
 			ev.Kind = IntOp
 		}
 	}
+}
+
+// FillBatch fills the caller-owned slab evs with the next len(evs)
+// dynamic instructions — the arena API of the batched simulation
+// kernel. The generator advances exactly as len(evs) Next calls would:
+// every RNG stream draws in the same order, so a trace consumed
+// through any mix of FillBatch and Next calls is bit-identical to one
+// consumed event by event (TestFillBatchMatchesNext pins this).
+//
+// The body is Next unrolled across the slab with the per-event state
+// (block position, thresholds, RNG handle) held in locals; only the
+// once-per-block prologue touches the Generator's fields.
+func (g *Generator) FillBatch(evs []Event) {
+	var (
+		blockLen          = g.blockLen
+		pLoad             = g.pLoad
+		pLoadStore        = g.pLoadStore
+		pALU              = g.pALU
+		pSIMD             = g.pSIMD
+		pSIMDFP           = g.pSIMDFP
+		kernelFrac        = g.spec.KernelFrac
+		rMix              = g.rMix
+		pos               = g.blockPos
+		curBlock          = g.curBlock
+		inKernel          = g.inKernel
+		base       uint64 = UserCodeBase
+	)
+	if inKernel {
+		base = KernelCodeBase
+	}
+	for i := range evs {
+		ev := &evs[i]
+		if pos == 0 {
+			if inKernel {
+				g.kernBudget--
+				if g.kernBudget <= 0 {
+					inKernel = false
+					g.inKernel = false
+				}
+			} else if kernelFrac > 0 {
+				if g.rKernel.Bool(g.pEnterKern) {
+					inKernel = true
+					g.inKernel = true
+					g.kernBudget = kernelBurst
+				}
+			}
+			curBlock = g.pickBlock()
+			if inKernel {
+				base = KernelCodeBase
+			} else {
+				base = UserCodeBase
+			}
+		}
+
+		ev.PC = base + uint64(curBlock*blockLen+pos)*instrBytes
+		ev.Kernel = inKernel
+		ev.Addr = 0
+		ev.Taken = false
+
+		if pos == blockLen-1 {
+			ev.Kind = CondBranch
+			var b *branchState
+			if inKernel {
+				b = &g.kbranches[curBlock]
+			} else {
+				b = &g.branches[curBlock]
+			}
+			ev.Taken = g.outcome(b)
+			pos = 0
+			continue
+		}
+		pos++
+
+		x := rMix.Float64()
+		switch {
+		case x < pLoad:
+			ev.Kind = Load
+			ev.Addr = g.dataAddr()
+		case x < pLoadStore:
+			ev.Kind = Store
+			ev.Addr = g.dataAddr()
+		default:
+			if pALU <= 0 {
+				ev.Kind = IntOp
+				continue
+			}
+			y := rMix.Float64() * pALU
+			switch {
+			case y < pSIMD:
+				ev.Kind = SIMDOp
+			case y < pSIMDFP:
+				ev.Kind = FPOp
+			default:
+				ev.Kind = IntOp
+			}
+		}
+	}
+	g.blockPos = pos
+	g.curBlock = curBlock
 }
 
 // outcome produces one branch's next direction and updates the global
@@ -503,11 +631,11 @@ func (g *Generator) dataAddr() uint64 {
 			g.streams[i] = uint64(i) * g.streamSpan
 		}
 		return DataBase + g.streams[i]
-	case x < spec.StrideFrac+spec.HotFrac:
+	case x < g.dHotT:
 		return DataBase + g.rData.Uint64n(spec.HotBytes)&^7
-	case x < spec.StrideFrac+spec.HotFrac+spec.MidFrac:
+	case x < g.dMidT:
 		return DataBase + g.rData.Uint64n(spec.MidBytes)&^7
-	case x < spec.StrideFrac+spec.HotFrac+spec.MidFrac+spec.WarmFrac:
+	case x < g.dWarmT:
 		return DataBase + g.rData.Uint64n(spec.WarmBytes)&^7
 	default:
 		return DataBase + g.rData.Uint64n(spec.FootprintBytes)&^7

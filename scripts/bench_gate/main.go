@@ -54,15 +54,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench_gate: REGRESSION %s\n", reg)
 		failed = true
 	}
-	for name, cur := range current.Benchmarks {
-		old, ok := committed.Benchmarks[name]
+	// Per-benchmark baseline-vs-current summary in stable suite order
+	// (ranging over the map would shuffle the lines every run).
+	for _, bm := range bench.Suite() {
+		cur, ok := current.Benchmarks[bm.Name]
 		if !ok {
-			fmt.Printf("%-28s %14d ns/op  (new, no baseline)\n", name, cur.NsPerOp)
 			continue
 		}
-		fmt.Printf("%-28s %14d ns/op  (baseline %d, %+.1f%%)\n",
-			name, cur.NsPerOp, old.NsPerOp,
-			100*float64(cur.NsPerOp-old.NsPerOp)/float64(old.NsPerOp))
+		old, ok := committed.Benchmarks[bm.Name]
+		switch {
+		case !ok:
+			fmt.Printf("%-28s %14d ns/op  (new, no baseline)\n", bm.Name, cur.NsPerOp)
+		case old.NsPerOp <= 0:
+			// A zero baseline would print ±Inf%; name it instead.
+			fmt.Printf("%-28s %14d ns/op  (baseline %d, growth n/a)\n",
+				bm.Name, cur.NsPerOp, old.NsPerOp)
+		default:
+			fmt.Printf("%-28s %14d ns/op  (baseline %d, %+.1f%%)\n",
+				bm.Name, cur.NsPerOp, old.NsPerOp,
+				100*float64(cur.NsPerOp-old.NsPerOp)/float64(old.NsPerOp))
+		}
 	}
 	if current.AnalyticSpeedup < minAnalyticSpeedup {
 		fmt.Fprintf(os.Stderr, "bench_gate: analytic speedup %.1fx is below the contractual %.0fx\n",
