@@ -10,7 +10,7 @@ GO ?= go
 RACE_PKGS ?= ./internal/server/... ./internal/metrics/... ./internal/core/... \
              ./internal/cluster/... ./internal/stats/... ./internal/store/... \
              ./internal/sched/... ./internal/telemetry/... ./internal/admission/... \
-             ./internal/engine/... ./internal/jobs/...
+             ./internal/engine/... ./internal/jobs/... ./internal/insight/...
 
 .PHONY: ci fmt-check vet build test race race-all bench bench-snapshot bench-gate smoke clean
 

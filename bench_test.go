@@ -12,11 +12,16 @@ package repro
 
 import (
 	"context"
+	"io"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/insight"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -335,6 +340,41 @@ func TestStoreHitFastPathAllocs(t *testing.T) {
 	})
 	if allocs > 3 {
 		t.Errorf("warm store hit allocates %.1f objects/op, want <= 3 (key id: itoa + concat, closure wrapper)", allocs)
+	}
+}
+
+// TestStoreHitFastPathAllocsWithInsight extends the same contract to
+// the insight plane: drift scanning and metric sampling run entirely
+// off the request path (a ticker goroutine and store.Range), so a
+// store with a live plane attached — even one that has already
+// scanned — must keep the identical warm-hit allocation bound. A
+// future per-Get drift hook would trip this immediately.
+func TestStoreHitFastPathAllocsWithInsight(t *testing.T) {
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := insight.New(insight.Config{
+		Metrics:  metrics.NewRegistry(),
+		Store:    st,
+		Log:      telemetry.NewLogger(io.Discard, telemetry.LevelError+1),
+		Interval: time.Hour,
+	})
+	defer plane.Stop()
+	key := store.Key{Machine: "m", Workload: "w", Instructions: 400_000, Content: "deadbeef"}
+	st.Put(key, &machine.RawCounts{})
+	plane.Tick() // sample the registry and scan the store once
+	ctx := context.Background()
+	compute := func(context.Context) (*machine.RawCounts, error) {
+		panic("compute called on a warm hit")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := st.GetOrCompute(ctx, key, compute); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("warm store hit with insight attached allocates %.1f objects/op, want <= 3 (same bound as without)", allocs)
 	}
 }
 

@@ -14,6 +14,8 @@
 //	        [-request-timeout d]
 //	        [-jobs] [-max-jobs n] [-job-workers n] [-webhook-timeout d]
 //	        [-trace] [-trace-ring n] [-trace-slow d]
+//	        [-insight] [-insight-interval d] [-insight-ring n]
+//	        [-slo-latency-ms n]
 //	        [-pprof-addr addr] [-log-level level]
 //
 // Endpoints:
@@ -33,6 +35,9 @@
 //	GET  /v1/healthz                      liveness (503 once draining)
 //	GET  /v1/status                       runtime introspection
 //	GET  /v1/traces                       finished request traces
+//	GET  /v1/metrics/history              sampled metric time series
+//	GET  /v1/accuracy                     analytic-vs-exact drift totals
+//	GET  /v1/events                       recorded anomaly events
 //	GET  /healthz
 //	GET  /metrics                         Prometheus text format
 //
@@ -55,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/insight"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -92,6 +98,12 @@ type daemonConfig struct {
 	trace     bool
 	traceRing int
 	traceSlow time.Duration
+
+	insight         bool
+	insightInterval time.Duration
+	insightRing     int
+	sloLatencyMS    int
+
 	pprofAddr string
 	logLevel  telemetry.Level
 }
@@ -130,6 +142,10 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.BoolVar(&cfg.trace, "trace", true, "record per-request span trees, served at /v1/traces")
 	fs.IntVar(&cfg.traceRing, "trace-ring", 256, "finished traces to retain in memory")
 	fs.DurationVar(&cfg.traceSlow, "trace-slow", 0, "log the full span tree of traces slower than this (0 disables)")
+	fs.BoolVar(&cfg.insight, "insight", true, "run the self-monitoring plane (/v1/metrics/history, /v1/accuracy, /v1/events)")
+	fs.DurationVar(&cfg.insightInterval, "insight-interval", 5*time.Second, "insight sampling period")
+	fs.IntVar(&cfg.insightRing, "insight-ring", 360, "history samples retained per metric series")
+	fs.IntVar(&cfg.sloLatencyMS, "slo-latency-ms", 500, "per-request latency objective for SLO burn tracking, in milliseconds (0 disables)")
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 	logLevel := fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +176,9 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		{"request-timeout", cfg.requestTO < 0},
 		{"max-jobs", cfg.maxJobs < 0},
 		{"job-workers", cfg.jobWorkers < 0},
+		{"insight-interval", cfg.insightInterval < 0},
+		{"insight-ring", cfg.insightRing < 0},
+		{"slo-latency-ms", cfg.sloLatencyMS < 0},
 	} {
 		if check.bad {
 			err := fmt.Errorf("must not be negative")
@@ -186,17 +205,44 @@ func main() {
 	// and tracer's instruments, so /metrics exposes spec17_store_*,
 	// spec17_sched_*, and spec17_stage_* too.
 	reg := metrics.NewRegistry()
+
+	// The insight plane is created before the tracer and the store so
+	// both can deliver their anomaly hooks (slow traces, checkpoint
+	// failures) into its event ring; the store itself is attached
+	// afterwards, once it exists.
+	var plane *insight.Plane
+	if cfg.insight {
+		plane = insight.New(insight.Config{
+			Metrics:   reg,
+			Log:       logger,
+			Interval:  cfg.insightInterval,
+			Ring:      cfg.insightRing,
+			EventRing: 256,
+			SLO: insight.SLOConfig{
+				Latency: time.Duration(cfg.sloLatencyMS) * time.Millisecond,
+			},
+		})
+	}
+
 	var tracer *telemetry.Tracer
 	if cfg.trace {
-		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+		tcfg := telemetry.TracerConfig{
 			Capacity:      cfg.traceRing,
 			SlowThreshold: cfg.traceSlow,
 			Metrics:       reg,
 			Log:           logger,
-		})
+		}
+		if plane != nil {
+			tcfg.OnSlow = plane.OnSlowTrace
+		}
+		tracer = telemetry.NewTracer(tcfg)
 	}
 
-	st, err := store.Open(store.Config{Path: cfg.storePath, Metrics: reg, Log: logger.Std("store")})
+	scfg := store.Config{Path: cfg.storePath, Metrics: reg, Log: logger.Std("store")}
+	if plane != nil {
+		scfg.OnCheckpointError = plane.OnCheckpointError
+	}
+	st, err := store.Open(scfg)
 	if err != nil {
 		logger.Warn("opening store; starting cold", "err", err)
 	}
@@ -211,6 +257,14 @@ func main() {
 			defer stop()
 			logger.Info("checkpointing store", "interval", cfg.checkpoint)
 		}
+	}
+
+	if plane != nil {
+		plane.AttachStore(st)
+		plane.Start()
+		defer plane.Stop()
+		logger.Info("insight plane sampling", "interval", cfg.insightInterval,
+			"ring", cfg.insightRing, "slo_latency_ms", cfg.sloLatencyMS)
 	}
 
 	if cfg.pprofAddr != "" {
@@ -242,6 +296,7 @@ func main() {
 		Metrics:           reg,
 		Log:               logger,
 		Tracer:            tracer,
+		Insight:           plane,
 	})
 
 	l, err := net.Listen("tcp", cfg.addr)

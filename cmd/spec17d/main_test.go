@@ -186,6 +186,63 @@ func TestParseFlagsAdmission(t *testing.T) {
 	}
 }
 
+// Insight flags default to an enabled plane at a 5s cadence, land in
+// the config verbatim, and reject negative values at parse time (exit
+// 2 in main) with stderr naming the offending flag.
+func TestParseFlagsInsight(t *testing.T) {
+	var buf strings.Builder
+	cfg, err := parseFlags(nil, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if !cfg.insight {
+		t.Error("insight should default to true")
+	}
+	if cfg.insightInterval != 5*time.Second {
+		t.Errorf("insightInterval = %v, want 5s", cfg.insightInterval)
+	}
+	if cfg.insightRing != 360 {
+		t.Errorf("insightRing = %d, want 360", cfg.insightRing)
+	}
+	if cfg.sloLatencyMS != 500 {
+		t.Errorf("sloLatencyMS = %d, want 500", cfg.sloLatencyMS)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-insight=false", "-insight-interval", "1s",
+		"-insight-ring", "60", "-slo-latency-ms", "250",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags() = %v; stderr:\n%s", err, buf.String())
+	}
+	if cfg.insight {
+		t.Error("insight = true, want false")
+	}
+	if cfg.insightInterval != time.Second || cfg.insightRing != 60 || cfg.sloLatencyMS != 250 {
+		t.Errorf("insightInterval = %v, insightRing = %d, sloLatencyMS = %d",
+			cfg.insightInterval, cfg.insightRing, cfg.sloLatencyMS)
+	}
+
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-insight-interval", "-1s"}, "-insight-interval"},
+		{[]string{"-insight-ring", "-8"}, "-insight-ring"},
+		{[]string{"-slo-latency-ms", "-100"}, "-slo-latency-ms"},
+	} {
+		var buf strings.Builder
+		_, err := parseFlags(tc.args, &buf)
+		if err == nil {
+			t.Errorf("parseFlags(%v) succeeded, want error", tc.args)
+			continue
+		}
+		if !strings.Contains(buf.String(), tc.flag) {
+			t.Errorf("parseFlags(%v) stderr does not name %s:\n%s", tc.args, tc.flag, buf.String())
+		}
+	}
+}
+
 func TestParseFlagsInvalidLogLevel(t *testing.T) {
 	var buf strings.Builder
 	_, err := parseFlags([]string{"-log-level", "loud"}, &buf)

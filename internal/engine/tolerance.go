@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/counters"
+import (
+	"math"
+
+	"repro/internal/counters"
+)
 
 // Band bounds the allowed analytic-vs-exact disagreement for one
 // metric: the two engines agree when
@@ -16,7 +20,20 @@ type Band struct {
 }
 
 // Holds reports whether analytic a and exact x agree within the band.
-func (b Band) Holds(a, x float64) bool {
+func (b Band) Holds(a, x float64) bool { return b.Ratio(a, x) <= 1 }
+
+// Ratio returns the fraction of the band the disagreement between
+// analytic a and exact x consumes:
+//
+//	|a − x| / (Abs + Rel·max(|a|, |x|))
+//
+// 0 is perfect agreement, 1 sits exactly on the band edge, and values
+// above 1 are violations. The insight plane's drift monitor feeds
+// these ratios into the spec17d_engine_drift_ratio{metric} histograms,
+// so "how close to the contract are we running" is one number per
+// sample regardless of the metric's units. A degenerate zero-width
+// band returns 0 on exact agreement and +Inf otherwise.
+func (b Band) Ratio(a, x float64) float64 {
 	diff := a - x
 	if diff < 0 {
 		diff = -diff
@@ -30,7 +47,14 @@ func (b Band) Holds(a, x float64) bool {
 	} else if xa < 0 && -xa > m {
 		m = -xa
 	}
-	return diff <= b.Abs+b.Rel*m
+	width := b.Abs + b.Rel*m
+	if width == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return diff / width
 }
 
 // MetricCPI keys the CPI pseudo-metric in Tolerances; it is not part

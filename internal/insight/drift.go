@@ -1,0 +1,308 @@
+package insight
+
+// The accuracy-drift monitor: the daemon's auto tier answers
+// analytically first and upgrades to exact in the background, which
+// means the store routinely holds *both* measurements of one
+// (machine, workload, fidelity) identity — the analytic record under
+// Key.Engine="analytic" and its exact twin under Engine="". Each Scan
+// pairs them up and replays the cross-validation contract in
+// production: every metric's relative disagreement is expressed as
+// the fraction of its committed engine.Tolerances band it consumes
+// (Band.Ratio), fed into spec17d_engine_drift_ratio{metric}, and a
+// ratio above 1 — an answer the daemon already served that the exact
+// engine later contradicted beyond contract — raises a
+// band_violation event. GET /v1/accuracy serves the running totals
+// and the worst offenders.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// maxOffenders bounds the worst-offenders table served by
+// /v1/accuracy.
+const maxOffenders = 16
+
+// offenderCap bounds the in-memory offender map; when exceeded, the
+// mildest entries are pruned (they were never going to make the
+// table).
+const offenderCap = 128
+
+// Offender is one (machine, workload, metric) cell of the drift
+// matrix, tracked by its worst observed band consumption.
+type Offender struct {
+	Machine    string  `json:"machine"`
+	Workload   string  `json:"workload"`
+	Metric     string  `json:"metric"`
+	WorstRatio float64 `json:"worst_ratio"`
+	// Analytic and Exact are the metric values behind WorstRatio.
+	Analytic float64 `json:"analytic"`
+	Exact    float64 `json:"exact"`
+	// Count is how many compared samples fed this cell.
+	Count int64 `json:"count"`
+}
+
+// AccuracyStatus is the GET /v1/accuracy body.
+type AccuracyStatus struct {
+	// Pairs is the number of (analytic, exact) record pairs compared.
+	Pairs int64 `json:"pairs_compared"`
+	// Samples is the number of per-metric comparisons across all pairs.
+	Samples int64 `json:"samples"`
+	// Violations counts samples whose band ratio exceeded 1.
+	Violations int64 `json:"violations"`
+	// WorstRatio is the largest band consumption ever observed.
+	WorstRatio float64    `json:"worst_ratio"`
+	LastScan   *time.Time `json:"last_scan,omitempty"`
+	// Worst lists the most band-consuming (machine, workload, metric)
+	// cells, capped at 16.
+	Worst []Offender `json:"worst,omitempty"`
+}
+
+// Drift pairs analytic store records with their exact twins and scores
+// the disagreement. Safe for concurrent use.
+type Drift struct {
+	events *EventLog
+	now    func() time.Time
+
+	ratio      *metrics.HistogramVec
+	pairsCtr   *metrics.Counter
+	violations *metrics.Counter
+
+	powerOnce sync.Once
+	hasPower  map[string]bool
+
+	mu       sync.Mutex
+	st       *store.Store
+	compared map[string]bool
+	pairs    int64
+	samples  int64
+	nviol    int64
+	worst    float64
+	cells    map[string]*Offender
+	lastScan time.Time
+}
+
+func newDrift(st *store.Store, reg *metrics.Registry, events *EventLog, now func() time.Time) *Drift {
+	return &Drift{
+		events: events,
+		now:    now,
+		ratio: reg.HistogramVec("spec17d_engine_drift_ratio",
+			"Analytic-vs-exact disagreement per compared metric, as the fraction of the tolerance band consumed (>1 = violation).",
+			[]float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1, 1.5, 2, 4},
+			"metric"),
+		pairsCtr: reg.Counter("spec17d_engine_drift_pairs_total",
+			"Analytic/exact record pairs compared by the drift monitor."),
+		violations: reg.Counter("spec17d_engine_drift_violations_total",
+			"Drift samples whose disagreement exceeded the committed tolerance band."),
+		st:       st,
+		compared: make(map[string]bool),
+		cells:    make(map[string]*Offender),
+	}
+}
+
+// attachStore sets the store scanned for pairs; call before the plane
+// starts.
+func (d *Drift) attachStore(st *store.Store) {
+	d.mu.Lock()
+	d.st = st
+	d.mu.Unlock()
+}
+
+// Scan walks the store for analytic records whose exact twin has
+// landed and compares each previously-unseen pair. Records are
+// immutable and the engines deterministic, so one comparison per pair
+// is definitive — the dedup map makes repeated scans cheap. Returns
+// how many new pairs were compared.
+func (d *Drift) Scan() int {
+	d.mu.Lock()
+	st := d.st
+	d.mu.Unlock()
+	if st == nil {
+		return 0
+	}
+	type pair struct {
+		key      store.Key
+		analytic *machine.RawCounts
+		exact    *machine.RawCounts
+	}
+	var pairs []pair
+	st.Range(func(k store.Key, rc *machine.RawCounts) bool {
+		if k.Engine != string(engine.TierAnalytic) || k.Copies != 0 {
+			return true
+		}
+		id := k.ID()
+		d.mu.Lock()
+		seen := d.compared[id]
+		d.mu.Unlock()
+		if seen {
+			return true
+		}
+		twin := k
+		twin.Engine = "" // the exact tier's normalized identity
+		if xrec, ok := st.Get(twin); ok {
+			pairs = append(pairs, pair{key: k, analytic: rc, exact: xrec})
+		}
+		return true
+	})
+	n := 0
+	for _, p := range pairs {
+		d.mu.Lock()
+		already := d.compared[p.key.ID()]
+		if !already {
+			d.compared[p.key.ID()] = true
+		}
+		d.mu.Unlock()
+		if already {
+			continue // lost a race with a concurrent Scan
+		}
+		d.ObservePair(p.key, p.analytic, p.exact)
+		n++
+	}
+	d.mu.Lock()
+	d.lastScan = d.now()
+	d.mu.Unlock()
+	return n
+}
+
+// ObservePair scores one analytic record against its exact twin:
+// every Table III metric the machine measures, plus the CPI
+// pseudo-metric, against its engine.Tolerances band.
+func (d *Drift) ObservePair(key store.Key, analytic, exact *machine.RawCounts) {
+	hp := d.machineHasPower(key.Machine)
+	aSample, aErr := counters.FromRaw(key.Machine, hp, analytic)
+	xSample, xErr := counters.FromRaw(key.Machine, hp, exact)
+	if aErr != nil || xErr != nil {
+		return // zero-instruction records carry no metrics to compare
+	}
+	d.pairsCtr.Inc()
+	d.mu.Lock()
+	d.pairs++
+	d.mu.Unlock()
+	for _, m := range aSample.Metrics() {
+		d.observeMetric(key, m, aSample.MustValue(m), xSample.MustValue(m))
+	}
+	d.observeMetric(key, engine.MetricCPI, analytic.CPI, exact.CPI)
+}
+
+func (d *Drift) observeMetric(key store.Key, m counters.Metric, a, x float64) {
+	band, ok := engine.Tolerances[m]
+	if !ok {
+		return
+	}
+	ratio := band.Ratio(a, x)
+	d.ratio.With(string(m)).Observe(ratio)
+	d.mu.Lock()
+	d.samples++
+	if ratio > d.worst {
+		d.worst = ratio
+	}
+	cellKey := key.Machine + "|" + key.Workload + "|" + string(m)
+	cell, exists := d.cells[cellKey]
+	if !exists {
+		cell = &Offender{Machine: key.Machine, Workload: key.Workload, Metric: string(m)}
+		d.cells[cellKey] = cell
+		d.pruneCellsLocked()
+	}
+	cell.Count++
+	if ratio > cell.WorstRatio {
+		cell.WorstRatio, cell.Analytic, cell.Exact = ratio, a, x
+	}
+	violated := ratio > 1
+	if violated {
+		d.nviol++
+	}
+	d.mu.Unlock()
+	if violated {
+		d.violations.Inc()
+		d.events.Emit(EventBandViolation,
+			fmt.Sprintf("analytic %s for %s on %s drifted %.2fx beyond its tolerance band",
+				m, key.Workload, key.Machine, ratio),
+			map[string]string{
+				"machine":  key.Machine,
+				"workload": key.Workload,
+				"metric":   string(m),
+				"analytic": strconv.FormatFloat(a, 'g', 6, 64),
+				"exact":    strconv.FormatFloat(x, 'g', 6, 64),
+				"ratio":    strconv.FormatFloat(ratio, 'g', 4, 64),
+			})
+	}
+}
+
+// pruneCellsLocked drops the mildest cells when the table outgrows
+// offenderCap; callers hold d.mu.
+func (d *Drift) pruneCellsLocked() {
+	if len(d.cells) <= offenderCap {
+		return
+	}
+	type kv struct {
+		key   string
+		ratio float64
+	}
+	all := make([]kv, 0, len(d.cells))
+	for k, c := range d.cells {
+		all = append(all, kv{k, c.WorstRatio})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ratio < all[j].ratio })
+	for _, e := range all[:len(all)-offenderCap/2] {
+		delete(d.cells, e.key)
+	}
+}
+
+// Status returns the running totals and the worst-offenders table.
+func (d *Drift) Status() AccuracyStatus {
+	d.mu.Lock()
+	st := AccuracyStatus{
+		Pairs:      d.pairs,
+		Samples:    d.samples,
+		Violations: d.nviol,
+		WorstRatio: d.worst,
+	}
+	if !d.lastScan.IsZero() {
+		t := d.lastScan
+		st.LastScan = &t
+	}
+	worst := make([]Offender, 0, len(d.cells))
+	for _, c := range d.cells {
+		worst = append(worst, *c)
+	}
+	d.mu.Unlock()
+	sort.Slice(worst, func(i, j int) bool {
+		if worst[i].WorstRatio != worst[j].WorstRatio {
+			return worst[i].WorstRatio > worst[j].WorstRatio
+		}
+		a := worst[i].Machine + "|" + worst[i].Workload + "|" + worst[i].Metric
+		b := worst[j].Machine + "|" + worst[j].Workload + "|" + worst[j].Metric
+		return a < b
+	})
+	if len(worst) > maxOffenders {
+		worst = worst[:maxOffenders]
+	}
+	st.Worst = worst
+	return st
+}
+
+// machineHasPower reports whether the named fleet machine measures
+// power (RAPL), deciding whether the power metrics are compared.
+// Unknown machines (tests, retired configs) compare base metrics only.
+func (d *Drift) machineHasPower(name string) bool {
+	d.powerOnce.Do(func() {
+		d.hasPower = make(map[string]bool)
+		fleet, err := machine.Fleet()
+		if err != nil {
+			return
+		}
+		for _, m := range fleet {
+			d.hasPower[m.Name()] = m.Config().HasRAPL
+		}
+	})
+	return d.hasPower[name]
+}

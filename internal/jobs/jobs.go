@@ -236,6 +236,12 @@ type Config struct {
 	EstimateItemSeconds func(spec Spec) float64
 	// Webhook configures push delivery of terminal states.
 	Webhook WebhookConfig
+	// OnWebhookExhausted, when set, is invoked (from the delivery
+	// goroutine) when a job's webhook delivery runs out of retry
+	// attempts — the point where at-least-once delivery has, for this
+	// process lifetime, become zero times. The insight plane hooks this
+	// to surface the loss as a typed operator event.
+	OnWebhookExhausted func(jobID, url string, attempts int, lastErr error)
 	// Metrics receives the spec17d_jobs_* instruments. Nil uses a
 	// private registry.
 	Metrics *metrics.Registry

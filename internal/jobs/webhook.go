@@ -83,12 +83,14 @@ func (m *Manager) deliver(j Job) {
 	wh := m.cfg.Webhook
 	backoff := wh.Backoff
 	attempts := 0
+	var lastErr error
 	for attempts < wh.MaxAttempts {
 		if m.ctx.Err() != nil {
 			break // shutdown; redelivery happens at next boot
 		}
 		attempts++
 		err := m.post(j.Spec.Webhook, body, wh)
+		lastErr = err
 		if err == nil {
 			m.met.webhooks.With("ok").Inc()
 			m.recordDelivery(j.ID, attempts, true)
@@ -111,6 +113,11 @@ func (m *Manager) deliver(j Job) {
 	}
 	m.met.webhooks.With("failed").Inc()
 	m.recordDelivery(j.ID, attempts, false)
+	// Exhausted (as opposed to interrupted by shutdown, which redelivers
+	// at next boot): surface the terminal loss to whoever is listening.
+	if attempts >= wh.MaxAttempts && m.cfg.OnWebhookExhausted != nil {
+		m.cfg.OnWebhookExhausted(j.ID, j.Spec.Webhook, attempts, lastErr)
+	}
 }
 
 // post runs one delivery attempt under its own deadline.

@@ -84,8 +84,18 @@ type Histogram struct {
 	count   uint64
 }
 
-// Observe records one observation.
+// Observe records one observation. NaN observations are dropped and
+// negative ones clamped to zero: both arise in practice from failed
+// timers and clock steps, and either would silently corrupt sum (NaN
+// poisons it forever; negatives walk it backwards) while the buckets
+// kept counting — an exposition no aggregator can repair.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	// First bucket whose upper bound contains v; the implicit +Inf

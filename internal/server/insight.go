@@ -1,0 +1,164 @@
+package server
+
+// The insight plane's HTTP surface: metric history, accuracy drift,
+// and anomaly events. These routes exist only when Config.Insight is
+// set — a daemon without the plane 404s them through the ordinary
+// fallback — and, like the rest of the observability surface, they
+// are untraced and unadmitted, so a saturated daemon still answers
+// them.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/insight"
+	"repro/internal/server/api"
+)
+
+// handleMetricsHistory is GET /v1/metrics/history: one metric family's
+// sampled time series over ?window=, with rate and percentile
+// derivation (see insight.Recorder.History).
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k, vs := range q {
+		switch k {
+		case "name", "window":
+		default:
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("unknown query parameter %q (valid: name, window)", k), nil)
+			return
+		}
+		if len(vs) > 1 {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("query parameter %q given %d times, want at most once", k, len(vs)), nil)
+			return
+		}
+	}
+	if err := api.NoEmptyParams(q); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, codeBadOptions,
+			"missing required query parameter \"name\"", nil)
+		return
+	}
+	var window time.Duration
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("window=%q: must be a positive duration (e.g. 5m)", v), nil)
+			return
+		}
+		window = d
+	}
+	ins := s.cfg.Insight
+	h, ok := ins.Recorder().History(name, window, ins.Interval(), time.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Sprintf("no sampled metric named %q", name), ins.Recorder().Names())
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// accuracyResponse is the GET /v1/accuracy body.
+type accuracyResponse struct {
+	// Enabled reports whether the drift monitor has a store to scan —
+	// without one there is nothing to pair.
+	Enabled bool `json:"enabled"`
+	insight.AccuracyStatus
+}
+
+// handleAccuracy is GET /v1/accuracy: the drift monitor's running
+// totals and worst offenders. A scan runs first so the answer reflects
+// every upgrade that has landed, not just the last tick's.
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	if len(r.URL.Query()) != 0 {
+		writeError(w, http.StatusBadRequest, codeBadOptions,
+			"GET /v1/accuracy takes no query parameters", nil)
+		return
+	}
+	d := s.cfg.Insight.Drift()
+	d.Scan()
+	writeJSON(w, http.StatusOK, accuracyResponse{
+		Enabled:        s.cfg.Store != nil,
+		AccuracyStatus: d.Status(),
+	})
+}
+
+// eventsResponse is the GET /v1/events body.
+type eventsResponse struct {
+	Count  int             `json:"count"`
+	Events []insight.Event `json:"events"`
+}
+
+// handleEvents is GET /v1/events: the anomaly-event ring, newest
+// first. ?type= keeps one event class, ?since= (RFC 3339) a time
+// range, ?limit= bounds the count (default 100).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k, vs := range q {
+		switch k {
+		case "type", "since", "limit":
+		default:
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("unknown query parameter %q (valid: type, since, limit)", k), nil)
+			return
+		}
+		if len(vs) > 1 {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("query parameter %q given %d times, want at most once", k, len(vs)), nil)
+			return
+		}
+	}
+	if err := api.NoEmptyParams(q); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadOptions, err.Error(), nil)
+		return
+	}
+	var typ insight.EventType
+	if v := q.Get("type"); v != "" {
+		known := insight.KnownEventTypes()
+		ok := false
+		names := make([]string, 0, len(known))
+		for _, t := range known {
+			names = append(names, string(t))
+			ok = ok || string(t) == v
+		}
+		if !ok {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("unknown event type %q", v), names)
+			return
+		}
+		typ = insight.EventType(v)
+	}
+	var since time.Time
+	if v := q.Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("since=%q: must be an RFC 3339 timestamp", v), nil)
+			return
+		}
+		since = t
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeBadOptions,
+				fmt.Sprintf("limit=%q: must be a positive integer", v), nil)
+			return
+		}
+		limit = n
+	}
+	evs := s.cfg.Insight.Events().Events(typ, since, limit)
+	if evs == nil {
+		evs = []insight.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Count: len(evs), Events: evs})
+}

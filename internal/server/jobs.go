@@ -64,6 +64,12 @@ func (s *Server) estimateItemSeconds(spec jobs.Spec) float64 {
 // job gets a root job.run trace spanning the whole sweep, and job
 // state checkpoints next to the measurement store's snapshot.
 func (s *Server) newJobManager() {
+	// A lost webhook is invisible to the submitter until they poll; the
+	// insight plane turns it into a typed operator event.
+	var onExhausted func(string, string, int, error)
+	if ins := s.cfg.Insight; ins != nil {
+		onExhausted = ins.OnWebhookExhausted
+	}
 	m, err := jobs.New(jobs.Config{
 		Path:       s.cfg.JobsPath,
 		MaxJobs:    s.cfg.MaxJobs,
@@ -88,8 +94,9 @@ func (s *Server) newJobManager() {
 			Timeout:  s.cfg.WebhookTimeout,
 			Disabled: s.cfg.WebhookTimeout < 0,
 		},
-		Metrics: s.cfg.Metrics,
-		Log:     s.cfg.Log,
+		OnWebhookExhausted: onExhausted,
+		Metrics:            s.cfg.Metrics,
+		Log:                s.cfg.Log,
 	})
 	if err != nil {
 		s.cfg.Log.Warn("jobs snapshot discarded", "err", err)

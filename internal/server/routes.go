@@ -64,6 +64,18 @@ func (s *Server) routeTable() []routeDef {
 		{method: "GET", pattern: "/metrics", raw: true, h: s.handleMetrics,
 			desc: "Prometheus text exposition"},
 	}
+	if s.cfg.Insight != nil {
+		routes = append(routes,
+			routeDef{method: "GET", pattern: "/v1/metrics/history", h: s.handleMetricsHistory,
+				params: []string{"name", "window"},
+				desc:   "one metric family's sampled history with rate/percentile derivation"},
+			routeDef{method: "GET", pattern: "/v1/accuracy", h: s.handleAccuracy,
+				desc: "analytic-vs-exact drift totals and worst offenders"},
+			routeDef{method: "GET", pattern: "/v1/events", h: s.handleEvents,
+				params: []string{"type", "since", "limit"},
+				desc:   "recorded anomaly events, newest first"},
+		)
+	}
 	if !s.cfg.JobsDisabled {
 		routes = append(routes,
 			routeDef{method: "POST", pattern: "/v1/jobs", traced: true, h: s.handleJobSubmit,

@@ -37,6 +37,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/insight"
 	"repro/internal/jobs"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -163,6 +164,13 @@ type Config struct {
 	// Nil disables tracing entirely: no X-Trace-Id header, no trace
 	// ids in batch lines, and no per-request allocations for spans.
 	Tracer *telemetry.Tracer
+	// Insight is the self-monitoring plane (internal/insight). When
+	// set, the server registers GET /v1/metrics/history, /v1/accuracy,
+	// and /v1/events, reports insight state in /v1/status, and nudges
+	// the drift monitor whenever a background exact upgrade lands. Nil
+	// disables all of it — the routes 404 and compute responses are
+	// byte-identical.
+	Insight *insight.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -632,6 +640,12 @@ func (s *Server) upgradeWorker() {
 				}
 			} else {
 				s.met.upgrades.With("done").Inc()
+				// The exact twin of an analytically-served key just
+				// landed in the store: let the drift monitor compare
+				// the pair now instead of waiting for its next tick.
+				if ins := s.cfg.Insight; ins != nil {
+					ins.Drift().Scan()
+				}
 			}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/engine"
+	"repro/internal/insight"
 	"repro/internal/jobs"
 	"repro/internal/server/api"
 	"repro/internal/telemetry"
@@ -48,6 +49,7 @@ type statusResponse struct {
 	Trace     traceStatus        `json:"tracing"`
 	Admission admission.Snapshot `json:"admission"`
 	Jobs      *jobsStatus        `json:"jobs,omitempty"`
+	Insight   *insight.Status    `json:"insight,omitempty"`
 }
 
 // jobsStatus reports the async-job subsystem: the state census plus
@@ -160,15 +162,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	nResults, nLabs := s.results.len(), s.labs.len()
 	s.mu.Unlock()
-	hits, misses := int64(s.met.cacheHits.Value()), int64(s.met.cacheMisses.Value())
+	// Counter reads go through the registry's typed Snapshot — one
+	// self-consistent capture instead of a handful of ad-hoc handle
+	// reads (and the same view the insight recorder samples). Labelled
+	// series that never fired read as 0, like an absent Prometheus
+	// sample.
+	snap := s.cfg.Metrics.Snapshot()
+	hits := int64(snap.Value("spec17d_cache_hits_total"))
+	misses := int64(snap.Value("spec17d_cache_misses_total"))
 	resp.Cache = cacheStatus{
 		ResultEntries: nResults,
 		Labs:          nLabs,
 		Hits:          hits,
 		Misses:        misses,
 		HitRatio:      ratio(hits, misses),
-		Coalesced:     int64(s.met.coalesced.Value()),
-		Computations:  int64(s.met.computations.Value()),
+		Coalesced:     int64(snap.Value("spec17d_coalesced_waiters_total")),
+		Computations:  int64(snap.Value("spec17d_computations_total")),
 	}
 	s.mu.Lock()
 	nPending := len(s.upgradePending)
@@ -178,12 +187,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		UpgradeWorkers: s.cfg.UpgradeWorkers,
 		UpgradeDepth:   len(s.upgradeCh),
 		UpgradePending: nPending,
-		Queued:         int64(s.met.upgrades.With("queued").Value()),
-		Done:           int64(s.met.upgrades.With("done").Value()),
-		Failed:         int64(s.met.upgrades.With("failed").Value()),
-		Dropped:        int64(s.met.upgrades.With("dropped").Value()),
-		ServedExact:    int64(s.met.engineServed.With(string(engine.TierExact)).Value()),
-		ServedAnalytic: int64(s.met.engineServed.With(string(engine.TierAnalytic)).Value()),
+		Queued:         int64(snap.Value("spec17d_engine_upgrades_total", "queued")),
+		Done:           int64(snap.Value("spec17d_engine_upgrades_total", "done")),
+		Failed:         int64(snap.Value("spec17d_engine_upgrades_total", "failed")),
+		Dropped:        int64(snap.Value("spec17d_engine_upgrades_total", "dropped")),
+		ServedExact:    int64(snap.Value("spec17d_engine_requests_total", string(engine.TierExact))),
+		ServedAnalytic: int64(snap.Value("spec17d_engine_requests_total", string(engine.TierAnalytic))),
 	}
 	if s.jobs != nil {
 		resp.Jobs = &jobsStatus{
@@ -192,6 +201,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			QueueCap: s.jobsQueue.Cap(),
 			Path:     s.cfg.JobsPath,
 		}
+	}
+	if ins := s.cfg.Insight; ins != nil {
+		st := ins.Status()
+		resp.Insight = &st
 	}
 	if t := s.cfg.Tracer; t != nil {
 		resp.Trace = traceStatus{

@@ -163,6 +163,11 @@ type Config struct {
 	// Log receives load/persist warnings. Defaults to the standard
 	// logger.
 	Log *log.Logger
+	// OnCheckpointError, when set, is invoked (from the checkpoint
+	// goroutine) for every failed background save — how the insight
+	// plane turns a silently-logged persistence failure into a typed
+	// operator event. The snapshot on disk stays intact either way.
+	OnCheckpointError func(error)
 }
 
 // storeMetrics bundles the store's instruments.
@@ -423,6 +428,9 @@ func (s *Store) StartCheckpointing(interval time.Duration) (stop func()) {
 		}
 		if err := s.Save(); err != nil {
 			s.cfg.Log.Printf("store: checkpoint: %v", err)
+			if s.cfg.OnCheckpointError != nil {
+				s.cfg.OnCheckpointError(err)
+			}
 			return
 		}
 		s.met.checkpoints.Inc()
@@ -500,6 +508,28 @@ func (s *Store) Put(key Key, rc *machine.RawCounts) {
 	n := len(s.single) + len(s.multi)
 	s.mu.Unlock()
 	s.met.entries.Set(float64(n))
+}
+
+// Range visits every resident single-copy record. The record set is
+// captured under the lock and visited outside it, so fn may freely
+// call back into the store (Get, Put); records are immutable by
+// contract, so the copies stay valid. Returning false stops the walk.
+// The insight plane's drift monitor uses this to pair analytic-tier
+// records with their exact-tier twins.
+func (s *Store) Range(fn func(Key, *machine.RawCounts) bool) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.single))
+	recs := make([]*machine.RawCounts, 0, len(s.single))
+	for id, rc := range s.single {
+		ids = append(ids, id)
+		recs = append(recs, rc)
+	}
+	s.mu.Unlock()
+	for i, id := range ids {
+		if !fn(keyFromID(id), recs[i]) {
+			return
+		}
+	}
 }
 
 // GetMulti returns the stored multi-copy record for key, if present.

@@ -70,7 +70,10 @@ func main() {
 	// near-zero -rate-limit gives every client a one-token bucket that
 	// essentially never refills, so the second compute request below
 	// must be shed — driving the admission path end to end.
-	daemon := exec.Command(bin, "-addr", addr, "-trace-slow", "5m", "-rate-limit", "0.01")
+	// -insight-interval short enough that the history rings fill while
+	// the smoke test watches.
+	daemon := exec.Command(bin, "-addr", addr, "-trace-slow", "5m", "-rate-limit", "0.01",
+		"-insight-interval", "200ms")
 	daemon.Stdout, daemon.Stderr = os.Stdout, os.Stderr
 	if err := daemon.Start(); err != nil {
 		fatalf("starting spec17d: %v", err)
@@ -171,6 +174,53 @@ func main() {
 		}
 	}
 	fmt.Println("smoke: /v1/traces has the report trace with all pipeline stages")
+
+	// Insight plane: the sampled history of the request counter must
+	// appear once the recorder has ticked over the report traffic.
+	histDeadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body = get(base, "/v1/metrics/history?name=spec17d_requests_total&window=5m")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(histDeadline) {
+			fatalf("/v1/metrics/history never served the request counter: %d: %s", code, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	var hist struct {
+		Name   string `json:"name"`
+		Series []struct {
+			Points []json.RawMessage `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &hist); err != nil {
+		fatalf("/v1/metrics/history: %v\n%s", err, body)
+	}
+	if hist.Name != "spec17d_requests_total" || len(hist.Series) == 0 || len(hist.Series[0].Points) == 0 {
+		fatalf("/v1/metrics/history: no sampled points in %s", body)
+	}
+	fmt.Println("smoke: /v1/metrics/history sampled the request counter")
+
+	// /v1/accuracy answers the drift monitor's totals (no pairs yet —
+	// nothing analytic has been upgraded — but the contract is live).
+	code, body = get(base, "/v1/accuracy")
+	if code != http.StatusOK || !strings.Contains(string(body), `"pairs_compared"`) {
+		fatalf("/v1/accuracy: %d: %s", code, body)
+	}
+	fmt.Println("smoke: /v1/accuracy ok")
+
+	// /v1/events serves the (possibly empty) anomaly ring, and rejects
+	// an unknown event type with the known taxonomy.
+	code, body = get(base, "/v1/events")
+	if code != http.StatusOK || !strings.Contains(string(body), `"count"`) {
+		fatalf("/v1/events: %d: %s", code, body)
+	}
+	code, body = get(base, "/v1/events?type=bogus")
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "band_violation") {
+		fatalf("/v1/events?type=bogus: status %d body %s, want 400 naming the known types", code, body)
+	}
+	fmt.Println("smoke: /v1/events ok (unknown type rejected with the taxonomy)")
 
 	// Measurement engines: the same experiment served analytic and
 	// exact, each under a fresh API key (the near-zero refill rate means
@@ -338,5 +388,46 @@ func main() {
 		fatalf("webhook never delivered")
 	}
 	fmt.Println("smoke: webhook delivered the job.done notification")
+
+	// A daemon booted with -insight=false must not have the insight
+	// routes at all: 404 through the ordinary fallback, not an empty
+	// 200 — clients can trust the discovery document.
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("picking a second port: %v", err)
+	}
+	addr2 := l2.Addr().String()
+	l2.Close()
+	base2 := "http://" + addr2
+	daemon2 := exec.Command(bin, "-addr", addr2, "-insight=false", "-jobs=false")
+	daemon2.Stdout, daemon2.Stderr = os.Stdout, os.Stderr
+	if err := daemon2.Start(); err != nil {
+		fatalf("starting insight-less spec17d: %v", err)
+	}
+	defer func() {
+		daemon2.Process.Kill()
+		daemon2.Wait()
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("insight-less daemon not live after 10s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, path := range []string{"/v1/metrics/history?name=x", "/v1/accuracy", "/v1/events"} {
+		code, body := get(base2, path)
+		if code != http.StatusNotFound || !strings.Contains(string(body), "no such endpoint") {
+			fatalf("insight-less GET %s: status %d body %s, want the standard 404", path, code, body)
+		}
+	}
+	fmt.Println("smoke: -insight=false daemon 404s the insight routes")
 	fmt.Println("smoke: PASS")
 }
